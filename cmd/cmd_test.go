@@ -1,0 +1,82 @@
+// Package cmd_test smoke-tests each binary end to end through the Go
+// toolchain: the tools must build, run, and produce their expected output
+// shapes on the demo workloads.
+package cmd_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping toolchain invocation")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestDbtoasterFigure2(t *testing.T) {
+	out := run(t, "./cmd/dbtoaster", "-name", "rst", "-table")
+	for _, want := range []string{"Recursive compilation", "Maps (6 total)", "foreach"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDbtoasterProgramAndGo(t *testing.T) {
+	out := run(t, "./cmd/dbtoaster", "-name", "vwap", "-program")
+	if !strings.Contains(out, "on +bids") {
+		t.Errorf("program output missing trigger:\n%s", out)
+	}
+	out = run(t, "./cmd/dbtoaster", "-name", "rst", "-go")
+	if !strings.Contains(out, "func (s *State) OnInsertR(") {
+		t.Errorf("codegen output missing handler:\n%s", out)
+	}
+}
+
+func TestDbtoasterCustomTables(t *testing.T) {
+	out := run(t, "./cmd/dbtoaster",
+		"-tables", "R(A:int,B:int);S(B:int,C:int)",
+		"-sql", "select B, sum(A) from R group by B",
+		"-program")
+	if !strings.Contains(out, "on +R") {
+		t.Errorf("custom-table program missing trigger:\n%s", out)
+	}
+}
+
+func TestDbtoasterProfile(t *testing.T) {
+	out := run(t, "./cmd/dbtoaster", "-name", "ssb41", "-profile")
+	if !strings.Contains(out, "maps:") || !strings.Contains(out, "generated Go:") {
+		t.Errorf("profile output incomplete:\n%s", out)
+	}
+}
+
+func TestDbtraceRuns(t *testing.T) {
+	out := run(t, "./cmd/dbtrace", "-name", "rst", "-events", "3")
+	for _, want := range []string{"event +R(1, 10)", "stmt:", "final map contents"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBakeoffRuns(t *testing.T) {
+	out := run(t, "./cmd/bakeoff", "-scenario", "financial", "-events", "800", "-slowcap", "200")
+	for _, want := range []string{"financial / VWAP threshold", "dbtoaster", "naive-reeval", "compile profile"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bakeoff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, " NO") {
+		t.Errorf("bakeoff reports disagreement:\n%s", out)
+	}
+}

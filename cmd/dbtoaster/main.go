@@ -1,0 +1,130 @@
+// Command dbtoaster is the compiler CLI: it compiles a standing SQL query
+// and shows the compilation artifacts — the map declarations, the per-event
+// trigger programs, the paper's Figure 2 recursion table, and generated
+// standalone Go source (the paper's C++-generation path).
+//
+// Usage:
+//
+//	dbtoaster -name rst -table                 # paper query, Figure 2 table
+//	dbtoaster -name ssb41 -program             # trigger program for SSB 4.1
+//	dbtoaster -catalog orderbook -sql 'select sum(volume) from bids' -go
+//	dbtoaster -tables 'R(A:int,B:int)' -sql 'select B, sum(A) from R group by B' -program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbtoaster/internal/bakeoff"
+	"dbtoaster/internal/cli"
+	"dbtoaster/internal/codegen"
+	"dbtoaster/internal/compiler"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/schema"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "", "named demo query: "+strings.Join(cli.NamedQueries(), ", "))
+		sqlText   = flag.String("sql", "", "SQL query text (alternative to -name)")
+		catName   = flag.String("catalog", "", "built-in catalog: rst, orderbook, tpch")
+		tables    = flag.String("tables", "", "semicolon-separated table specs, e.g. 'R(A:int,B:int);S(B:int,C:int)'")
+		showFig2  = flag.Bool("table", false, "print the Figure 2 recursion table")
+		showProg  = flag.Bool("program", false, "print the compiled trigger program")
+		showGo    = flag.Bool("go", false, "print generated standalone Go source")
+		goPkg     = flag.String("pkg", "views", "package name for -go output")
+		profile   = flag.Bool("profile", false, "print the compile-time profile")
+		traceComp = flag.Bool("trace-compile", false, "narrate each delta derivation, simplification, and materialization step")
+	)
+	flag.Parse()
+
+	sqlSrc, cat, err := resolveQuery(*name, *sqlText, *catName, *tables)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtoaster:", err)
+		os.Exit(1)
+	}
+	q, err := engine.Prepare(sqlSrc, cat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtoaster:", err)
+		os.Exit(1)
+	}
+	var traceW *os.File
+	if *traceComp {
+		traceW = os.Stdout
+		fmt.Printf("compilation trace for: %s\n", sqlSrc)
+	}
+	var comp *compiler.Compiled
+	if traceW != nil {
+		comp, err = compiler.CompileTraced(q.Translated, traceW)
+	} else {
+		comp, err = compiler.Compile(q.Translated)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtoaster:", err)
+		os.Exit(1)
+	}
+
+	shown := *traceComp
+	if *showFig2 {
+		fmt.Print(compiler.Figure2(comp))
+		shown = true
+	}
+	if *showProg {
+		fmt.Print(comp.Program.String())
+		shown = true
+	}
+	if *showGo {
+		code, err := codegen.Generate(comp.Program, cat, *goPkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtoaster: codegen:", err)
+			os.Exit(1)
+		}
+		fmt.Print(code)
+		shown = true
+	}
+	if *profile {
+		p, err := bakeoff.CompileProfile(sqlSrc, cat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtoaster:", err)
+			os.Exit(1)
+		}
+		p.Print(os.Stdout)
+		shown = true
+	}
+	if !shown {
+		// Default: a summary plus the program.
+		fmt.Printf("query: %s\nmaps: %d  triggers: %d\n\n", sqlSrc, len(comp.Program.Maps), len(comp.Program.Triggers))
+		fmt.Print(comp.Program.String())
+	}
+}
+
+func resolveQuery(name, sqlText, catName, tables string) (string, *schema.Catalog, error) {
+	if name != "" {
+		src, cat, ok := cli.NamedQuery(name)
+		if !ok {
+			return "", nil, fmt.Errorf("unknown query name %q (try: %s)", name, strings.Join(cli.NamedQueries(), ", "))
+		}
+		return src, cat, nil
+	}
+	if sqlText == "" {
+		return "", nil, fmt.Errorf("need -name or -sql")
+	}
+	switch {
+	case tables != "":
+		cat, err := cli.ParseTables(strings.Split(tables, ";"))
+		if err != nil {
+			return "", nil, err
+		}
+		return sqlText, cat, nil
+	case catName != "":
+		cat, ok := cli.BuiltinCatalog(catName)
+		if !ok {
+			return "", nil, fmt.Errorf("unknown catalog %q", catName)
+		}
+		return sqlText, cat, nil
+	default:
+		return "", nil, fmt.Errorf("-sql needs -catalog or -tables")
+	}
+}

@@ -1,0 +1,96 @@
+// Command dbtrace is the paper's debugger (Figure 4): it feeds generated
+// workload events through a compiled query with per-statement tracing,
+// printing each trigger statement and the map entries it changed, then
+// dumps the final map contents.
+//
+// Usage:
+//
+//	dbtrace -name brokers -events 5          # trace 5 order-book deltas
+//	dbtrace -name rst -events 3 -step        # wait for Enter between stmts
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbtoaster/internal/cli"
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/orderbook"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/tpch"
+	"dbtoaster/internal/trace"
+	"dbtoaster/internal/types"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "rst", "named demo query: "+strings.Join(cli.NamedQueries(), ", "))
+		events = flag.Int("events", 5, "number of workload events to trace")
+		step   = flag.Bool("step", false, "pause for Enter before each statement")
+		seed   = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	src, cat, ok := cli.NamedQuery(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dbtrace: unknown query %q\n", *name)
+		os.Exit(1)
+	}
+	q, err := engine.Prepare(src, cat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtrace:", err)
+		os.Exit(1)
+	}
+	tr, err := trace.New(q, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtrace:", err)
+		os.Exit(1)
+	}
+	if *step {
+		in := bufio.NewReader(os.Stdin)
+		tr.SetStepFunc(func() bool {
+			fmt.Print("[enter to execute statement] ")
+			_, err := in.ReadString('\n')
+			return err == nil
+		})
+	}
+
+	fmt.Printf("tracing %q\n\n%s\n", src, tr.Program())
+	for _, ev := range workloadEvents(*name, *seed, *events) {
+		if err := tr.OnEvent(ev); err != nil {
+			fmt.Fprintln(os.Stderr, "dbtrace:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("\nfinal map contents:")
+	tr.DumpMaps()
+}
+
+// workloadEvents picks a matching generator for the named query.
+func workloadEvents(name string, seed int64, n int) []stream.Event {
+	switch {
+	case strings.HasPrefix(name, "ssb") || name == "loadmon":
+		return tpch.NewGenerator(seed, 1).Workload(n)[:n]
+	case name == "rst" || name == "paper" || name == "fig2":
+		// A small deterministic R/S/T sequence.
+		base := []stream.Event{
+			stream.Ins("R", types.NewInt(1), types.NewInt(10)),
+			stream.Ins("S", types.NewInt(10), types.NewInt(100)),
+			stream.Ins("T", types.NewInt(100), types.NewInt(7)),
+			stream.Ins("R", types.NewInt(2), types.NewInt(10)),
+			stream.Del("R", types.NewInt(1), types.NewInt(10)),
+			stream.Ins("S", types.NewInt(10), types.NewInt(200)),
+			stream.Ins("T", types.NewInt(200), types.NewInt(9)),
+		}
+		out := make([]stream.Event, 0, n)
+		for len(out) < n {
+			out = append(out, base[len(out)%len(base)])
+		}
+		return out
+	default:
+		return orderbook.NewGenerator(seed, 50).Events(n)[:n]
+	}
+}

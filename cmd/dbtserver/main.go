@@ -1,0 +1,83 @@
+// Command dbtserver runs DBToaster in standalone mode: a compiled standing
+// query served over a line-oriented TCP protocol (INSERT/DELETE/RESULT/
+// PROGRAM/STATS/QUIT; see internal/server for the protocol details).
+//
+// Usage:
+//
+//	dbtserver -name brokers -addr 127.0.0.1:7077
+//	dbtserver -catalog tpch -sql 'select sum(lo.revenue) from lineorder lo, dates d where lo.orderdate = d.datekey' -addr :7077
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"dbtoaster/internal/cli"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/server"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "", "named demo query: "+strings.Join(cli.NamedQueries(), ", "))
+		sqlText = flag.String("sql", "", "SQL query text")
+		catName = flag.String("catalog", "", "built-in catalog: rst, orderbook, tpch")
+		tables  = flag.String("tables", "", "semicolon-separated table specs")
+		addr    = flag.String("addr", "127.0.0.1:7077", "listen address")
+	)
+	flag.Parse()
+
+	var (
+		src string
+		cat *schema.Catalog
+	)
+	switch {
+	case *name != "":
+		var ok bool
+		src, cat, ok = cli.NamedQuery(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dbtserver: unknown query %q\n", *name)
+			os.Exit(1)
+		}
+	case *sqlText != "" && *tables != "":
+		var err error
+		cat, err = cli.ParseTables(strings.Split(*tables, ";"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtserver:", err)
+			os.Exit(1)
+		}
+		src = *sqlText
+	case *sqlText != "" && *catName != "":
+		var ok bool
+		cat, ok = cli.BuiltinCatalog(*catName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dbtserver: unknown catalog %q\n", *catName)
+			os.Exit(1)
+		}
+		src = *sqlText
+	default:
+		fmt.Fprintln(os.Stderr, "dbtserver: need -name, or -sql with -catalog/-tables")
+		os.Exit(1)
+	}
+
+	s, err := server.New(src, cat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtserver:", err)
+		os.Exit(1)
+	}
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dbtserver: serving %q on %s\n", src, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("dbtserver: shutting down")
+	s.Close()
+}

@@ -1,0 +1,84 @@
+// Algotrading: the paper's financial application. A synthetic NASDAQ
+// TotalView-like order-delta stream drives four compiled standing queries
+// (bid/ask turnover and depth), from which the SOBI trading signal is
+// derived each tick; a treap-based processor maintains the correlated
+// VWAP query; and a grouped view watches per-broker activity for
+// market-maker detection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbtoaster"
+	"dbtoaster/internal/orderbook"
+)
+
+func main() {
+	cat := orderbook.Catalog()
+
+	compile := func(sql string) *dbtoaster.View {
+		v, err := dbtoaster.Compile(sql, cat)
+		if err != nil {
+			log.Fatalf("compile %q: %v", sql, err)
+		}
+		return v
+	}
+	bidTurnover := compile(orderbook.QueryBidTurnover)
+	bidDepth := compile(orderbook.QueryBidDepth)
+	askTurnover := compile(orderbook.QueryAskTurnover)
+	askDepth := compile(orderbook.QueryAskDepth)
+	brokers := compile(orderbook.QueryBrokerActivity)
+	vwapThresh := compile(orderbook.QueryVWAPThreshold)
+	corrVWAP := orderbook.NewVWAP("bids", 0.25)
+
+	views := []*dbtoaster.View{bidTurnover, bidDepth, askTurnover, askDepth, brokers, vwapThresh}
+
+	scalar := func(v *dbtoaster.View) float64 {
+		res, err := v.Results()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			return 0
+		}
+		return res.Rows[0][0].Float()
+	}
+
+	gen := orderbook.NewGenerator(42, 200)
+	const ticks = 5000
+	fmt.Printf("%-8s %-12s %-12s %-14s %-14s\n", "tick", "SOBI", "mid-vwap", "vwap(corr)", "vwap(thresh)")
+	for tick := 1; tick <= ticks; tick++ {
+		for _, ev := range gen.Next() {
+			for _, v := range views {
+				if err := v.OnEvent(ev); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := corrVWAP.OnEvent(ev); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if tick%1000 == 0 {
+			bt, bd := scalar(bidTurnover), scalar(bidDepth)
+			at, ad := scalar(askTurnover), scalar(askDepth)
+			signal := orderbook.SOBI(bt, bd, at, ad)
+			mid := 0.0
+			if bd > 0 && ad > 0 {
+				mid = (bt/bd + at/ad) / 2
+			}
+			fmt.Printf("%-8d %-12.5f %-12.2f %-14.2f %-14.2f\n",
+				tick, signal, mid, corrVWAP.Value(), scalar(vwapThresh))
+		}
+	}
+
+	fmt.Println("\nper-broker bid-book activity (market-maker candidates first):")
+	res, err := brokers.Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+	bids, asks := gen.BookSizes()
+	fmt.Printf("\nbook sizes: %d bids, %d asks; view state: %d map entries across %d maps\n",
+		bids, asks, vwapThresh.MemEntries(), vwapThresh.MapCount())
+}

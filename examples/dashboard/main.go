@@ -1,0 +1,109 @@
+// Dashboard: several standing queries over one stream, two ways.
+//
+// First, embedded: CompileMany merges related queries into ONE trigger
+// program whose maps are shared (the paper's map sharing, applied across
+// queries), so a delta is processed once for all of them. Second,
+// standalone: the same queries served over the paper's network protocol,
+// with a client registering an extra query at runtime (Figure 1's
+// "register query" arrow).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbtoaster"
+	"dbtoaster/internal/orderbook"
+	"dbtoaster/internal/server"
+)
+
+func main() {
+	cat := orderbook.Catalog()
+	queries := []string{
+		orderbook.QueryBidDepth,
+		orderbook.QueryBrokerNetBid,   // sum(volume) by broker
+		orderbook.QueryBrokerActivity, // count + sum(volume) by broker: shares maps with the above
+	}
+
+	// --- Embedded: one merged program for all three queries. ---
+	mv, err := dbtoaster.CompileMany(queries, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single := 0
+	for _, q := range queries {
+		v, err := dbtoaster.Compile(q, cat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		single += v.MapCount()
+	}
+	fmt.Printf("map sharing: %d maps merged vs %d compiled separately\n\n", mv.MapCount(), single)
+
+	gen := orderbook.NewGenerator(11, 120)
+	for _, ev := range gen.Events(5000) {
+		if err := mv.OnEvent(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	labels := []string{"bid depth", "broker net bid", "broker activity"}
+	for i, label := range labels {
+		res, err := mv.Results(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := len(res.Rows)
+		fmt.Printf("%-16s %d row(s)", label, rows)
+		if rows == 1 && len(res.Rows[0]) == 1 {
+			fmt.Printf("  value=%s", res.Rows[0][0])
+		}
+		fmt.Println()
+	}
+
+	// --- Standalone: the same view served over TCP. ---
+	srv, err := server.New(orderbook.QueryBidDepth, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("\nstandalone server on %s\n", addr)
+
+	client, err := server.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	// Register a second standing query at runtime.
+	if err := client.Register("asks", orderbook.QueryAskDepth); err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range orderbook.NewGenerator(12, 40).Events(200) {
+		parts := make([]dbtoaster.Value, len(ev.Args))
+		copy(parts, ev.Args)
+		var sendErr error
+		if ev.Op.String() == "+" {
+			sendErr = client.Insert(ev.Relation, parts...)
+		} else {
+			sendErr = client.Delete(ev.Relation, parts...)
+		}
+		if sendErr != nil {
+			log.Fatal(sendErr)
+		}
+	}
+	for _, name := range []string{"main", "asks"} {
+		_, rows, err := client.ResultOf(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("server query %-6s → %v\n", name, rows)
+	}
+	events, entries, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server processed %d deltas, %d map entries\n", events, entries)
+}

@@ -1,0 +1,69 @@
+// Package examples_test verifies every example builds and runs to
+// completion with sensible output.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, dir string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping toolchain invocation")
+	}
+	cmd := exec.Command("go", "run", "./examples/"+dir)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+func TestQuickstart(t *testing.T) {
+	out := runExample(t, "quickstart")
+	if !strings.Contains(out, "ada | 160 | 2") {
+		t.Errorf("quickstart answer wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "on +orders") {
+		t.Errorf("quickstart program missing:\n%s", out)
+	}
+}
+
+func TestWarehouse(t *testing.T) {
+	out := runExample(t, "warehouse")
+	for _, want := range []string{"dimensions loaded", "SSB 4.1", "load monitor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("warehouse output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAlgotrading(t *testing.T) {
+	out := runExample(t, "algotrading")
+	for _, want := range []string{"SOBI", "vwap(corr)", "per-broker", "book sizes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("algotrading output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDashboard(t *testing.T) {
+	out := runExample(t, "dashboard")
+	for _, want := range []string{"map sharing: 3 maps merged vs 5", "standalone server", "server processed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCodegenExample(t *testing.T) {
+	out := runExample(t, "codegen")
+	for _, want := range []string{"package views", "OnInsertR", "trigger program"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("codegen output missing %q:\n%s", want, out)
+		}
+	}
+}

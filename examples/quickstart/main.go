@@ -1,0 +1,49 @@
+// Quickstart: compile a standing aggregate query, stream deltas into it,
+// and read the incrementally-maintained answer — DBToaster's embedded mode
+// in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbtoaster"
+)
+
+func main() {
+	// 1. Declare the base relations (every relation is an update stream).
+	cat := dbtoaster.NewCatalog(
+		dbtoaster.NewRelation("orders", "customer:string", "amount:float"),
+	)
+
+	// 2. Compile the standing query. DBToaster turns it into per-event
+	//    trigger functions over in-memory maps — no query plans at runtime.
+	view, err := dbtoaster.Compile(
+		"select customer, sum(amount), count(*) from orders group by customer", cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled trigger program:")
+	fmt.Println(view.Program())
+
+	// 3. Stream deltas: inserts, and deletes with arbitrary lifetimes.
+	deltas := []dbtoaster.Event{
+		dbtoaster.Insert("orders", dbtoaster.String("ada"), dbtoaster.Float(120)),
+		dbtoaster.Insert("orders", dbtoaster.String("bob"), dbtoaster.Float(80)),
+		dbtoaster.Insert("orders", dbtoaster.String("ada"), dbtoaster.Float(40)),
+		dbtoaster.Delete("orders", dbtoaster.String("bob"), dbtoaster.Float(80)),
+	}
+	for _, ev := range deltas {
+		if err := view.OnEvent(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. Read the maintained view.
+	res, err := view.Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("current answer:")
+	fmt.Print(res)
+}

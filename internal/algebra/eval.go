@@ -1,0 +1,310 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"dbtoaster/internal/types"
+)
+
+// DB provides multiset access to base relations. Implemented by the
+// baseline engines' stores; the evaluator is the system's correctness
+// oracle (it evaluates map-definition queries directly against base data)
+// and the execution engine of the first-order IVM baseline.
+type DB interface {
+	// Scan calls f for every distinct tuple of the relation with its
+	// multiplicity (always non-zero).
+	Scan(rel string, f func(t types.Tuple, mult float64))
+}
+
+// Env binds variables to values during evaluation.
+type Env map[Var]types.Value
+
+// Clone copies the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// EvalVal evaluates a scalar expression under env. Unbound variables are an
+// error (the translator and compiler guarantee binding order).
+func EvalVal(expr ValExpr, env Env) (types.Value, error) {
+	switch x := expr.(type) {
+	case *VConst:
+		return x.Value, nil
+	case *VVar:
+		v, ok := env[x.Name]
+		if !ok {
+			return types.Null, fmt.Errorf("algebra: unbound variable %s", x.Name)
+		}
+		return v, nil
+	case *VArith:
+		l, err := EvalVal(x.L, env)
+		if err != nil {
+			return types.Null, err
+		}
+		r, err := EvalVal(x.R, env)
+		if err != nil {
+			return types.Null, err
+		}
+		switch x.Op {
+		case '+':
+			return types.Add(l, r), nil
+		case '-':
+			return types.Sub(l, r), nil
+		case '*':
+			return types.Mul(l, r), nil
+		case '/':
+			return types.Div(l, r), nil
+		}
+		return types.Null, fmt.Errorf("algebra: bad arith op %q", x.Op)
+	}
+	return types.Null, fmt.Errorf("algebra: unknown value expr %T", expr)
+}
+
+// GroupedResult maps encoded group-variable tuples to aggregate values.
+type GroupedResult map[types.Key]float64
+
+// Eval evaluates term t against db under env, grouping by groupVars: the
+// result maps each assignment of groupVars (those not already bound by env
+// are enumerated; bound ones are fixed) to the sum of t's value over all
+// assignments of its remaining free variables.
+//
+// Terms containing MapRef are not evaluable here (materialized maps live in
+// the runtime); the translator's output and all map definitions are
+// MapRef-free by construction.
+func Eval(db DB, t Term, groupVars []Var, env Env) (GroupedResult, error) {
+	res := GroupedResult{}
+	err := enumerate(db, t, env, func(e Env, v float64) error {
+		if v == 0 {
+			return nil
+		}
+		key := make(types.Tuple, len(groupVars))
+		for i, g := range groupVars {
+			val, ok := e[g]
+			if !ok {
+				return fmt.Errorf("algebra: group variable %s unbound after evaluation", g)
+			}
+			key[i] = val
+		}
+		res[types.EncodeKey(key)] += v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range res {
+		if v == 0 {
+			delete(res, k)
+		}
+	}
+	return res, nil
+}
+
+// EvalScalar evaluates a closed (no group vars) term to a single number.
+func EvalScalar(db DB, t Term, env Env) (float64, error) {
+	res, err := Eval(db, t, nil, env)
+	if err != nil {
+		return 0, err
+	}
+	return res[types.EncodeKey(nil)], nil
+}
+
+// enumerate produces (environment, value) pairs for t under env.
+func enumerate(db DB, t Term, env Env, emit func(Env, float64) error) error {
+	switch t := t.(type) {
+	case *Rel:
+		var err error
+		db.Scan(t.Name, func(tuple types.Tuple, mult float64) {
+			if err != nil {
+				return
+			}
+			e2, ok := unify(env, t.Vars, tuple)
+			if !ok {
+				return
+			}
+			err = emit(e2, mult)
+		})
+		return err
+	case *Val:
+		v, err := EvalVal(t.Expr, env)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return emit(env, 0)
+		}
+		return emit(env, v.Float())
+	case *Cmp:
+		l, err := EvalVal(t.L, env)
+		if err != nil {
+			return err
+		}
+		r, err := EvalVal(t.R, env)
+		if err != nil {
+			return err
+		}
+		if t.Op.Eval(l, r) {
+			return emit(env, 1)
+		}
+		return nil
+	case *Lift:
+		v, err := EvalVal(t.Expr, env)
+		if err != nil {
+			return err
+		}
+		if cur, ok := env[t.Var]; ok {
+			if cur.Equal(v) {
+				return emit(env, 1)
+			}
+			return nil
+		}
+		e2 := env.Clone()
+		e2[t.Var] = v
+		return emit(e2, 1)
+	case *Sum:
+		for _, x := range t.Terms {
+			if err := enumerate(db, x, env, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Prod:
+		return enumProd(db, orderFactors(t.Factors, env), env, 1, emit)
+	case *AggSum:
+		grouped, err := Eval(db, t.Body, t.GroupVars, env)
+		if err != nil {
+			return err
+		}
+		// Deterministic iteration keeps error behaviour stable in tests.
+		keys := make([]string, 0, len(grouped))
+		for k := range grouped {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, ks := range keys {
+			k := types.Key(ks)
+			tuple := types.DecodeKey(k)
+			e2, ok := unify(env, t.GroupVars, tuple)
+			if !ok {
+				continue
+			}
+			if err := emit(e2, grouped[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *MapRef:
+		return fmt.Errorf("algebra: cannot evaluate MapRef %s against base data", t)
+	}
+	return fmt.Errorf("algebra: unknown term %T", t)
+}
+
+func enumProd(db DB, fs []Term, env Env, acc float64, emit func(Env, float64) error) error {
+	if acc == 0 {
+		return nil
+	}
+	if len(fs) == 0 {
+		return emit(env, acc)
+	}
+	return enumerate(db, fs[0], env, func(e Env, v float64) error {
+		return enumProd(db, fs[1:], e, acc*v, emit)
+	})
+}
+
+// orderFactors sequences product factors so that every Val/Cmp evaluates
+// only after the variables it needs are bound: binding factors (relations,
+// nested AggSums) are emitted greedily, each followed by all guard factors
+// whose variables have become available. A Lift is a guard for its
+// expression's variables but a binder for its own variable.
+func orderFactors(fs []Term, env Env) []Term {
+	bound := map[Var]bool{}
+	for v := range env {
+		bound[v] = true
+	}
+	var binders, guards []Term
+	for _, f := range fs {
+		switch f.(type) {
+		case *Rel, *AggSum, *MapRef:
+			binders = append(binders, f)
+		default:
+			guards = append(guards, f)
+		}
+	}
+	out := make([]Term, 0, len(fs))
+	pending := guards
+	needs := func(g Term) []Var {
+		if l, ok := g.(*Lift); ok {
+			return FreeVars(&Val{Expr: l.Expr})
+		}
+		return FreeVars(g)
+	}
+	takeReady := func() {
+		for {
+			progressed := false
+			rest := pending[:0]
+			for _, g := range pending {
+				ready := true
+				for _, v := range needs(g) {
+					if !bound[v] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					out = append(out, g)
+					if l, ok := g.(*Lift); ok {
+						bound[l.Var] = true
+					}
+					progressed = true
+				} else {
+					rest = append(rest, g)
+				}
+			}
+			pending = rest
+			if !progressed {
+				return
+			}
+		}
+	}
+	takeReady()
+	for _, b := range binders {
+		out = append(out, b)
+		for _, v := range FreeVars(b) {
+			bound[v] = true
+		}
+		takeReady()
+	}
+	// Any still-pending guard has genuinely unbound vars; evaluation will
+	// surface the error with the variable name.
+	out = append(out, pending...)
+	return out
+}
+
+// unify extends env by binding vars to tuple values; already-bound
+// variables must match (SQL equality), otherwise unification fails.
+// Repeated variables within vars must also agree.
+func unify(env Env, vars []Var, tuple types.Tuple) (Env, bool) {
+	if len(vars) != len(tuple) {
+		return nil, false
+	}
+	e2 := env
+	cloned := false
+	for i, v := range vars {
+		if cur, ok := e2[v]; ok {
+			if !cur.Equal(tuple[i]) {
+				return nil, false
+			}
+			continue
+		}
+		if !cloned {
+			e2 = env.Clone()
+			cloned = true
+		}
+		e2[v] = tuple[i]
+	}
+	return e2, true
+}

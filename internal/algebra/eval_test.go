@@ -1,0 +1,235 @@
+package algebra
+
+import (
+	"testing"
+
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/store"
+	"dbtoaster/internal/types"
+)
+
+func paperDB(t *testing.T) *store.Store {
+	t.Helper()
+	cat := schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("S", "B:int", "C:int"),
+		schema.NewRelation("T", "C:int", "D:int"),
+	)
+	s := store.New(cat)
+	ins := func(rel string, vals ...int64) {
+		tup := make(types.Tuple, len(vals))
+		for i, v := range vals {
+			tup[i] = types.NewInt(v)
+		}
+		if err := s.Insert(rel, tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// R = {(1,10),(2,10),(3,20)}, S = {(10,100),(20,200)}, T = {(100,7),(200,9)}
+	ins("R", 1, 10)
+	ins("R", 2, 10)
+	ins("R", 3, 20)
+	ins("S", 10, 100)
+	ins("S", 20, 200)
+	ins("T", 100, 7)
+	ins("T", 200, 9)
+	return s
+}
+
+// paperQuery is sum(A*D) from R,S,T where R.B=S.B and S.C=T.C as an algebra
+// term: Sum{}( R(a,b) * S(b,c) * T(c,d) * a*d ).
+func paperQuery() Term {
+	return &AggSum{Body: NewProd(
+		NewRel("R", "a", "b"),
+		NewRel("S", "b", "c"),
+		NewRel("T", "c", "d"),
+		&Val{Expr: &VArith{Op: '*', L: &VVar{Name: "a"}, R: &VVar{Name: "d"}}},
+	)}
+}
+
+func TestEvalPaperQuery(t *testing.T) {
+	db := paperDB(t)
+	// (1*7)+(2*7)+(3*9) = 7+14+27 = 48
+	got, err := EvalScalar(db, paperQuery(), Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 48 {
+		t.Errorf("sum(A*D) = %v, want 48", got)
+	}
+}
+
+func TestEvalGrouped(t *testing.T) {
+	db := paperDB(t)
+	// Sum{b}( R(a,b) * a ): per-B sum of A → {10: 3, 20: 3}
+	term := NewProd(NewRel("R", "a", "b"), VarVal("a"))
+	res, err := Eval(db, term, []Var{"b"}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("groups = %d, want 2: %v", len(res), res)
+	}
+	k10 := types.EncodeKey(types.Tuple{types.NewInt(10)})
+	k20 := types.EncodeKey(types.Tuple{types.NewInt(20)})
+	if res[k10] != 3 || res[k20] != 3 {
+		t.Errorf("grouped sums = %v", res)
+	}
+}
+
+func TestEvalWithBoundEnv(t *testing.T) {
+	db := paperDB(t)
+	// qD[b] = Sum{b}( S(b,c) * T(c,d) * d ) with b pre-bound to 10 → 7.
+	term := NewProd(NewRel("S", "b", "c"), NewRel("T", "c", "d"), VarVal("d"))
+	res, err := Eval(db, term, []Var{"b"}, Env{"b": types.NewInt(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := types.EncodeKey(types.Tuple{types.NewInt(10)})
+	if len(res) != 1 || res[k] != 7 {
+		t.Errorf("qD[10] = %v", res)
+	}
+}
+
+func TestEvalComparisonGuards(t *testing.T) {
+	db := paperDB(t)
+	// Count of R tuples with A >= 2: [a >= 2] * R(a,b)
+	term := NewProd(
+		&Cmp{Op: CmpGte, L: &VVar{Name: "a"}, R: &VConst{Value: types.NewInt(2)}},
+		NewRel("R", "a", "b"),
+	)
+	got, err := EvalScalar(db, &AggSum{Body: term}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("count = %v, want 2", got)
+	}
+}
+
+func TestEvalGuardBeforeBinderIsReordered(t *testing.T) {
+	db := paperDB(t)
+	// The guard [c > 100] precedes the relation that binds c; orderFactors
+	// must defer it until c is bound.
+	term := NewProd(
+		&Cmp{Op: CmpGt, L: &VVar{Name: "c"}, R: &VConst{Value: types.NewInt(100)}},
+		NewRel("S", "b", "c"),
+	)
+	got, err := EvalScalar(db, &AggSum{Body: term}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("count = %v, want 1", got)
+	}
+}
+
+func TestEvalSum(t *testing.T) {
+	db := paperDB(t)
+	term := NewSum(
+		NewProd(NewRel("R", "a", "b"), VarVal("a")),
+		NewProd(NewRel("R", "a", "b"), VarVal("a")),
+	)
+	got, err := EvalScalar(db, &AggSum{Body: term}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12 { // 2 * (1+2+3)
+		t.Errorf("doubled sum = %v, want 12", got)
+	}
+}
+
+func TestEvalNestedAggSum(t *testing.T) {
+	db := paperDB(t)
+	// Sum{}( R(a,b) * Sum{b}(S(b,c)) ) — for each R tuple, count of S
+	// tuples with matching b: R(1,10),R(2,10) match 1 each, R(3,20) matches 1 → 3.
+	inner := &AggSum{GroupVars: []Var{"b"}, Body: NewRel("S", "b", "c")}
+	term := &AggSum{Body: NewProd(NewRel("R", "a", "b"), inner)}
+	got, err := EvalScalar(db, term, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("nested = %v, want 3", got)
+	}
+}
+
+func TestEvalRepeatedVarInRel(t *testing.T) {
+	cat := schema.NewCatalog(schema.NewRelation("P", "X:int", "Y:int"))
+	db := store.New(cat)
+	for _, p := range [][2]int64{{1, 1}, {1, 2}, {3, 3}} {
+		if err := db.Insert("P", types.Tuple{types.NewInt(p[0]), types.NewInt(p[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// P(x,x) counts tuples with X = Y.
+	got, err := EvalScalar(db, &AggSum{Body: NewRel("P", "x", "x")}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("P(x,x) count = %v, want 2", got)
+	}
+}
+
+func TestEvalMultiplicities(t *testing.T) {
+	cat := schema.NewCatalog(schema.NewRelation("R", "A:int"))
+	db := store.New(cat)
+	tup := types.Tuple{types.NewInt(5)}
+	for i := 0; i < 3; i++ {
+		if err := db.Insert("R", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete("R", tup); err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvalScalar(db, &AggSum{Body: NewProd(NewRel("R", "a"), VarVal("a"))}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 { // multiplicity 2 × value 5
+		t.Errorf("sum with multiplicity = %v, want 10", got)
+	}
+}
+
+func TestEvalUnboundVarError(t *testing.T) {
+	db := paperDB(t)
+	if _, err := EvalScalar(db, &AggSum{Body: VarVal("nope")}, Env{}); err == nil {
+		t.Error("unbound variable not reported")
+	}
+}
+
+func TestEvalMapRefRejected(t *testing.T) {
+	db := paperDB(t)
+	if _, err := EvalScalar(db, &AggSum{Body: &MapRef{Name: "m"}}, Env{}); err == nil {
+		t.Error("MapRef evaluation should fail")
+	}
+}
+
+func TestEvalDivisionByZeroYieldsZero(t *testing.T) {
+	db := paperDB(t)
+	term := &Val{Expr: &VArith{Op: '/', L: &VConst{Value: types.NewInt(1)}, R: &VConst{Value: types.NewInt(0)}}}
+	got, err := EvalScalar(db, &AggSum{Body: term}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("1/0 contributed %v, want 0", got)
+	}
+}
+
+func TestEvalValArith(t *testing.T) {
+	env := Env{"x": types.NewInt(6), "y": types.NewFloat(1.5)}
+	expr := &VArith{Op: '+',
+		L: &VArith{Op: '*', L: &VVar{Name: "x"}, R: &VVar{Name: "y"}},
+		R: &VArith{Op: '-', L: &VConst{Value: types.NewInt(10)}, R: &VVar{Name: "x"}},
+	}
+	v, err := EvalVal(expr, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 13 { // 6*1.5 + (10-6)
+		t.Errorf("arith = %v, want 13", v)
+	}
+}

@@ -1,0 +1,24 @@
+package algebra
+
+// Lift binds a variable to the value of a scalar expression: as a ring
+// element it is the indicator [x := e], value 1 with the side effect of
+// binding x when x is unbound, or [x = e] when x is already bound. MIN/MAX
+// compilation uses Lift to group join results by the aggregated expression's
+// value, and threshold-style queries use it for computed group keys.
+type Lift struct {
+	Var  Var
+	Expr ValExpr
+}
+
+func (*Lift) termNode() {}
+
+func (l *Lift) freeVars(set map[Var]bool) {
+	set[l.Var] = true
+	l.Expr.freeVars(set)
+}
+
+func (l *Lift) substitute(s map[Var]Var) Term {
+	return &Lift{Var: subVar(s, l.Var), Expr: l.Expr.substitute(s)}
+}
+
+func (l *Lift) String() string { return "[" + l.Var + " := " + l.Expr.String() + "]" }

@@ -1,0 +1,463 @@
+// Package algebra defines DBToaster's map algebra: a ring calculus over
+// generalized multiset relations. A term denotes a function from variable
+// assignments to numeric values; base relations map their tuples to
+// multiplicities, comparisons are 0/1 indicators, products join (unifying
+// shared variables), sums union, and AggSum marginalizes all variables but
+// an explicit group-variable list.
+//
+// The compiler (internal/compiler) takes deltas of terms (internal/delta),
+// simplifies them (internal/simplify), and materializes relation-bearing
+// subterms as in-memory maps, recursively — the paper's central idea.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbtoaster/internal/types"
+)
+
+// Var is a variable name. Variables are plain strings; the translator and
+// compiler guarantee uniqueness where required.
+type Var = string
+
+// Term is a ring-calculus term.
+type Term interface {
+	fmt.Stringer
+	// FreeVars adds the term's free variables to the set.
+	freeVars(set map[Var]bool)
+	// substitute returns the term with variables replaced per s. It never
+	// mutates the receiver.
+	substitute(s map[Var]Var) Term
+	termNode()
+}
+
+// Rel is a base-relation atom R(x1,...,xk): multiplicity of the bound tuple.
+type Rel struct {
+	Name string
+	Vars []Var
+}
+
+// Val is a scalar factor: the value of an arithmetic expression over
+// variables and constants.
+type Val struct {
+	Expr ValExpr
+}
+
+// Cmp is a comparison indicator: 1 when the comparison holds, else 0.
+type Cmp struct {
+	Op   CmpOp
+	L, R ValExpr
+}
+
+// Sum is addition of terms.
+type Sum struct {
+	Terms []Term
+}
+
+// Prod is multiplication (natural join on shared variables).
+type Prod struct {
+	Factors []Term
+}
+
+// AggSum sums its body over all free variables except GroupVars.
+type AggSum struct {
+	GroupVars []Var
+	Body      Term
+}
+
+// MapRef references a materialized in-memory map by name, keyed by Keys.
+type MapRef struct {
+	Name string
+	Keys []Var
+}
+
+func (*Rel) termNode()    {}
+func (*Val) termNode()    {}
+func (*Cmp) termNode()    {}
+func (*Sum) termNode()    {}
+func (*Prod) termNode()   {}
+func (*AggSum) termNode() {}
+func (*MapRef) termNode() {}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNeq
+	CmpLt
+	CmpLte
+	CmpGt
+	CmpGte
+)
+
+var cmpNames = [...]string{CmpEq: "=", CmpNeq: "!=", CmpLt: "<", CmpLte: "<=", CmpGt: ">", CmpGte: ">="}
+
+// String returns the operator's spelling.
+func (op CmpOp) String() string { return cmpNames[op] }
+
+// Negate returns the complementary operator (e.g. < becomes >=).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case CmpEq:
+		return CmpNeq
+	case CmpNeq:
+		return CmpEq
+	case CmpLt:
+		return CmpGte
+	case CmpLte:
+		return CmpGt
+	case CmpGt:
+		return CmpLte
+	default:
+		return CmpLt
+	}
+}
+
+// Flip returns the operator with swapped operands (e.g. < becomes >).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLte:
+		return CmpGte
+	case CmpGt:
+		return CmpLt
+	case CmpGte:
+		return CmpLte
+	default:
+		return op
+	}
+}
+
+// Eval applies the comparison to two concrete values.
+func (op CmpOp) Eval(l, r types.Value) bool {
+	switch op {
+	case CmpEq:
+		return l.Equal(r)
+	case CmpNeq:
+		return !l.Equal(r) && !l.IsNull() && !r.IsNull()
+	case CmpLt:
+		return !l.IsNull() && !r.IsNull() && l.Compare(r) < 0
+	case CmpLte:
+		return !l.IsNull() && !r.IsNull() && l.Compare(r) <= 0
+	case CmpGt:
+		return !l.IsNull() && !r.IsNull() && l.Compare(r) > 0
+	case CmpGte:
+		return !l.IsNull() && !r.IsNull() && l.Compare(r) >= 0
+	}
+	return false
+}
+
+// ValExpr is a scalar arithmetic expression over variables and constants.
+type ValExpr interface {
+	fmt.Stringer
+	freeVars(set map[Var]bool)
+	substitute(s map[Var]Var) ValExpr
+	valNode()
+}
+
+// VConst is a constant value.
+type VConst struct{ Value types.Value }
+
+// VVar is a variable reference.
+type VVar struct{ Name Var }
+
+// VArith is an arithmetic operation over two scalar expressions.
+type VArith struct {
+	Op   byte // one of + - * /
+	L, R ValExpr
+}
+
+func (*VConst) valNode() {}
+func (*VVar) valNode()   {}
+func (*VArith) valNode() {}
+
+// Constructors.
+
+// NewRel builds a relation atom.
+func NewRel(name string, vars ...Var) *Rel { return &Rel{Name: name, Vars: vars} }
+
+// One is the multiplicative unit.
+func One() *Val { return &Val{Expr: &VConst{Value: types.NewInt(1)}} }
+
+// Zero is the additive unit.
+func Zero() *Val { return &Val{Expr: &VConst{Value: types.NewInt(0)}} }
+
+// ConstVal wraps a constant as a scalar factor.
+func ConstVal(v types.Value) *Val { return &Val{Expr: &VConst{Value: v}} }
+
+// VarVal wraps a variable as a scalar factor.
+func VarVal(x Var) *Val { return &Val{Expr: &VVar{Name: x}} }
+
+// NewSum builds a sum; callers should prefer simplify.Simplify afterwards.
+func NewSum(ts ...Term) *Sum { return &Sum{Terms: ts} }
+
+// NewProd builds a product.
+func NewProd(fs ...Term) *Prod { return &Prod{Factors: fs} }
+
+// EqVarVar is the indicator [x = y].
+func EqVarVar(x, y Var) *Cmp {
+	return &Cmp{Op: CmpEq, L: &VVar{Name: x}, R: &VVar{Name: y}}
+}
+
+// EqVarConst is the indicator [x = c].
+func EqVarConst(x Var, c types.Value) *Cmp {
+	return &Cmp{Op: CmpEq, L: &VVar{Name: x}, R: &VConst{Value: c}}
+}
+
+// --- Free variables ---
+
+func (r *Rel) freeVars(set map[Var]bool) {
+	for _, v := range r.Vars {
+		set[v] = true
+	}
+}
+func (v *Val) freeVars(set map[Var]bool) { v.Expr.freeVars(set) }
+func (c *Cmp) freeVars(set map[Var]bool) { c.L.freeVars(set); c.R.freeVars(set) }
+func (s *Sum) freeVars(set map[Var]bool) {
+	for _, t := range s.Terms {
+		t.freeVars(set)
+	}
+}
+func (p *Prod) freeVars(set map[Var]bool) {
+	for _, f := range p.Factors {
+		f.freeVars(set)
+	}
+}
+func (a *AggSum) freeVars(set map[Var]bool) {
+	// Only the group variables escape.
+	for _, v := range a.GroupVars {
+		set[v] = true
+	}
+}
+func (m *MapRef) freeVars(set map[Var]bool) {
+	for _, v := range m.Keys {
+		set[v] = true
+	}
+}
+
+func (v *VConst) freeVars(map[Var]bool)     {}
+func (v *VVar) freeVars(set map[Var]bool)   { set[v.Name] = true }
+func (v *VArith) freeVars(set map[Var]bool) { v.L.freeVars(set); v.R.freeVars(set) }
+
+// FreeVars returns the sorted free variables of a term.
+func FreeVars(t Term) []Var {
+	set := map[Var]bool{}
+	t.freeVars(set)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FreeVarSet returns the free variables of a term as a set.
+func FreeVarSet(t Term) map[Var]bool {
+	set := map[Var]bool{}
+	t.freeVars(set)
+	return set
+}
+
+// --- Substitution (variable renaming) ---
+
+func subVar(s map[Var]Var, x Var) Var {
+	if y, ok := s[x]; ok {
+		return y
+	}
+	return x
+}
+
+func subVars(s map[Var]Var, xs []Var) []Var {
+	out := make([]Var, len(xs))
+	for i, x := range xs {
+		out[i] = subVar(s, x)
+	}
+	return out
+}
+
+func (r *Rel) substitute(s map[Var]Var) Term { return &Rel{Name: r.Name, Vars: subVars(s, r.Vars)} }
+func (v *Val) substitute(s map[Var]Var) Term { return &Val{Expr: v.Expr.substitute(s)} }
+func (c *Cmp) substitute(s map[Var]Var) Term {
+	return &Cmp{Op: c.Op, L: c.L.substitute(s), R: c.R.substitute(s)}
+}
+func (t *Sum) substitute(s map[Var]Var) Term {
+	out := make([]Term, len(t.Terms))
+	for i, x := range t.Terms {
+		out[i] = x.substitute(s)
+	}
+	return &Sum{Terms: out}
+}
+func (p *Prod) substitute(s map[Var]Var) Term {
+	out := make([]Term, len(p.Factors))
+	for i, f := range p.Factors {
+		out[i] = f.substitute(s)
+	}
+	return &Prod{Factors: out}
+}
+func (a *AggSum) substitute(s map[Var]Var) Term {
+	// Bound (summed) variables are untouched: drop mappings whose source is
+	// bound inside. Bound vars are fv(body) minus group vars.
+	bodyFV := FreeVarSet(a.Body)
+	inner := map[Var]Var{}
+	group := map[Var]bool{}
+	for _, g := range a.GroupVars {
+		group[g] = true
+	}
+	for from, to := range s {
+		if bodyFV[from] && !group[from] {
+			continue // bound variable: not renamed
+		}
+		inner[from] = to
+	}
+	return &AggSum{GroupVars: subVars(s, a.GroupVars), Body: a.Body.substitute(inner)}
+}
+func (m *MapRef) substitute(s map[Var]Var) Term {
+	return &MapRef{Name: m.Name, Keys: subVars(s, m.Keys)}
+}
+
+func (v *VConst) substitute(map[Var]Var) ValExpr { return v }
+func (v *VVar) substitute(s map[Var]Var) ValExpr { return &VVar{Name: subVar(s, v.Name)} }
+func (v *VArith) substitute(s map[Var]Var) ValExpr {
+	return &VArith{Op: v.Op, L: v.L.substitute(s), R: v.R.substitute(s)}
+}
+
+// Rename returns t with variables renamed per s (capture is the caller's
+// concern; the compiler only renames with fresh targets).
+func Rename(t Term, s map[Var]Var) Term { return t.substitute(s) }
+
+// RenameVal returns e with variables renamed per s.
+func RenameVal(e ValExpr, s map[Var]Var) ValExpr { return e.substitute(s) }
+
+// --- Printing ---
+
+func (r *Rel) String() string { return r.Name + "(" + strings.Join(r.Vars, ",") + ")" }
+func (v *Val) String() string { return v.Expr.String() }
+func (c *Cmp) String() string {
+	return "[" + c.L.String() + " " + c.Op.String() + " " + c.R.String() + "]"
+}
+func (s *Sum) String() string {
+	parts := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+func (p *Prod) String() string {
+	parts := make([]string, len(p.Factors))
+	for i, f := range p.Factors {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " * ")
+}
+func (a *AggSum) String() string {
+	return "Sum{" + strings.Join(a.GroupVars, ",") + "}(" + a.Body.String() + ")"
+}
+func (m *MapRef) String() string {
+	return m.Name + "[" + strings.Join(m.Keys, ",") + "]"
+}
+
+func (v *VConst) String() string { return v.Value.String() }
+func (v *VVar) String() string   { return v.Name }
+func (v *VArith) String() string {
+	return "(" + v.L.String() + string(v.Op) + v.R.String() + ")"
+}
+
+// --- Structural helpers ---
+
+// IsZero reports whether t is the literal zero scalar.
+func IsZero(t Term) bool {
+	v, ok := t.(*Val)
+	if !ok {
+		return false
+	}
+	c, ok := v.Expr.(*VConst)
+	return ok && c.Value.Kind().Numeric() && c.Value.Float() == 0
+}
+
+// IsOne reports whether t is the literal one scalar.
+func IsOne(t Term) bool {
+	v, ok := t.(*Val)
+	if !ok {
+		return false
+	}
+	c, ok := v.Expr.(*VConst)
+	return ok && c.Value.Kind().Numeric() && c.Value.Float() == 1
+}
+
+// ConstOf extracts a constant value if t is a constant scalar.
+func ConstOf(t Term) (types.Value, bool) {
+	v, ok := t.(*Val)
+	if !ok {
+		return types.Null, false
+	}
+	c, ok := v.Expr.(*VConst)
+	if !ok {
+		return types.Null, false
+	}
+	return c.Value, true
+}
+
+// Relations lists the distinct base-relation names occurring in t,
+// including inside nested AggSums, in sorted order.
+func Relations(t Term) []string {
+	set := map[string]bool{}
+	collectRels(t, set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectRels(t Term, set map[string]bool) {
+	switch t := t.(type) {
+	case *Rel:
+		set[t.Name] = true
+	case *Sum:
+		for _, x := range t.Terms {
+			collectRels(x, set)
+		}
+	case *Prod:
+		for _, f := range t.Factors {
+			collectRels(f, set)
+		}
+	case *AggSum:
+		collectRels(t.Body, set)
+	}
+}
+
+// RelAtomCount counts base-relation atoms in t (with multiplicity); the
+// compiler's termination argument rests on deltas strictly decreasing it.
+func RelAtomCount(t Term) int {
+	switch t := t.(type) {
+	case *Rel:
+		return 1
+	case *Sum:
+		max := 0
+		for _, x := range t.Terms {
+			if n := RelAtomCount(x); n > max {
+				max = n
+			}
+		}
+		return max
+	case *Prod:
+		n := 0
+		for _, f := range t.Factors {
+			n += RelAtomCount(f)
+		}
+		return n
+	case *AggSum:
+		return RelAtomCount(t.Body)
+	default:
+		return 0
+	}
+}
+
+// Equal reports structural equality of two terms.
+func Equal(a, b Term) bool { return a.String() == b.String() }

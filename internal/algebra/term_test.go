@@ -1,0 +1,162 @@
+package algebra
+
+import (
+	"reflect"
+	"testing"
+
+	"dbtoaster/internal/types"
+)
+
+func TestFreeVars(t *testing.T) {
+	// Sum{b}( R(a,b) * [a = 1] * c )
+	term := &AggSum{
+		GroupVars: []Var{"b"},
+		Body: NewProd(
+			NewRel("R", "a", "b"),
+			EqVarConst("a", types.NewInt(1)),
+			VarVal("c"),
+		),
+	}
+	if got := FreeVars(term); !reflect.DeepEqual(got, []Var{"b"}) {
+		t.Errorf("FreeVars(AggSum) = %v", got)
+	}
+	if got := FreeVars(term.Body); !reflect.DeepEqual(got, []Var{"a", "b", "c"}) {
+		t.Errorf("FreeVars(body) = %v", got)
+	}
+	m := &MapRef{Name: "q", Keys: []Var{"x", "y"}}
+	if got := FreeVars(m); !reflect.DeepEqual(got, []Var{"x", "y"}) {
+		t.Errorf("FreeVars(MapRef) = %v", got)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	term := NewProd(NewRel("R", "a", "b"), VarVal("a"))
+	got := Rename(term, map[Var]Var{"a": "p"})
+	if got.String() != "R(p,b) * p" {
+		t.Errorf("rename = %s", got)
+	}
+	if term.String() != "R(a,b) * a" {
+		t.Errorf("rename mutated original: %s", term)
+	}
+}
+
+func TestSubstituteRespectsAggSumBinding(t *testing.T) {
+	// In Sum{b}(R(a,b) * a), variable a is bound (summed); renaming a→p
+	// must not touch it, but renaming the group var b must work.
+	term := &AggSum{GroupVars: []Var{"b"}, Body: NewProd(NewRel("R", "a", "b"), VarVal("a"))}
+	got := Rename(term, map[Var]Var{"a": "p", "b": "k"})
+	want := "Sum{k}(R(a,k) * a)"
+	if got.String() != want {
+		t.Errorf("rename = %s, want %s", got, want)
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	one, two := types.NewInt(1), types.NewInt(2)
+	cases := []struct {
+		op   CmpOp
+		l, r types.Value
+		want bool
+	}{
+		{CmpEq, one, one, true},
+		{CmpEq, one, two, false},
+		{CmpNeq, one, two, true},
+		{CmpLt, one, two, true},
+		{CmpLte, two, two, true},
+		{CmpGt, two, one, true},
+		{CmpGte, one, two, false},
+		{CmpEq, types.Null, types.Null, false},
+		{CmpNeq, types.Null, one, false},
+		{CmpLt, types.Null, one, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.l, c.r); got != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestCmpNegateFlip(t *testing.T) {
+	pairs := map[CmpOp]CmpOp{
+		CmpEq: CmpNeq, CmpNeq: CmpEq, CmpLt: CmpGte, CmpLte: CmpGt, CmpGt: CmpLte, CmpGte: CmpLt,
+	}
+	for op, want := range pairs {
+		if got := op.Negate(); got != want {
+			t.Errorf("Negate(%s) = %s, want %s", op, got, want)
+		}
+		if got := op.Negate().Negate(); got != op {
+			t.Errorf("double negate of %s = %s", op, got)
+		}
+	}
+	flips := map[CmpOp]CmpOp{CmpLt: CmpGt, CmpLte: CmpGte, CmpGt: CmpLt, CmpGte: CmpLte, CmpEq: CmpEq, CmpNeq: CmpNeq}
+	for op, want := range flips {
+		if got := op.Flip(); got != want {
+			t.Errorf("Flip(%s) = %s, want %s", op, got, want)
+		}
+	}
+}
+
+func TestZeroOneConst(t *testing.T) {
+	if !IsZero(Zero()) || IsZero(One()) {
+		t.Error("IsZero broken")
+	}
+	if !IsOne(One()) || IsOne(Zero()) {
+		t.Error("IsOne broken")
+	}
+	if IsZero(NewRel("R", "a")) || IsOne(NewRel("R", "a")) {
+		t.Error("relation misidentified as constant")
+	}
+	v, ok := ConstOf(ConstVal(types.NewFloat(2.5)))
+	if !ok || v.Float() != 2.5 {
+		t.Errorf("ConstOf = %v, %v", v, ok)
+	}
+	if _, ok := ConstOf(VarVal("x")); ok {
+		t.Error("ConstOf(var) should fail")
+	}
+}
+
+func TestRelationsAndAtomCount(t *testing.T) {
+	term := NewSum(
+		NewProd(NewRel("R", "a", "b"), NewRel("S", "b", "c")),
+		NewProd(NewRel("R", "x", "y"),
+			&AggSum{GroupVars: []Var{"y"}, Body: NewRel("T", "y", "z")}),
+	)
+	if got := Relations(term); !reflect.DeepEqual(got, []string{"R", "S", "T"}) {
+		t.Errorf("Relations = %v", got)
+	}
+	// Sum takes the max of branch atom counts; branch 1 has R+S=2,
+	// branch 2 has R + (T inside AggSum) = 2.
+	if got := RelAtomCount(term); got != 2 {
+		t.Errorf("RelAtomCount = %d", got)
+	}
+	if got := RelAtomCount(NewProd(NewRel("R", "a"), NewRel("R", "b"), One())); got != 2 {
+		t.Errorf("self-join count = %d", got)
+	}
+}
+
+func TestPrinting(t *testing.T) {
+	term := &AggSum{
+		GroupVars: []Var{"b"},
+		Body: NewProd(
+			NewRel("S", "b", "c"),
+			&Cmp{Op: CmpGt, L: &VVar{Name: "c"}, R: &VConst{Value: types.NewInt(5)}},
+			&Val{Expr: &VArith{Op: '*', L: &VVar{Name: "c"}, R: &VConst{Value: types.NewInt(2)}}},
+		),
+	}
+	want := "Sum{b}(S(b,c) * [c > 5] * (c*2))"
+	if got := term.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestEqualIsStructural(t *testing.T) {
+	a := NewProd(NewRel("R", "a"), One())
+	b := NewProd(NewRel("R", "a"), One())
+	c := NewProd(One(), NewRel("R", "a"))
+	if !Equal(a, b) {
+		t.Error("identical terms unequal")
+	}
+	if Equal(a, c) {
+		t.Error("reordered product equal (Equal is structural, not semantic)")
+	}
+}

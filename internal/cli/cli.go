@@ -1,0 +1,108 @@
+// Package cli holds helpers shared by the command-line tools: built-in
+// catalogs, named demo queries, and schema-spec parsing.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"dbtoaster/internal/orderbook"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/tpch"
+)
+
+// RSTCatalog is the paper's running-example schema.
+func RSTCatalog() *schema.Catalog {
+	return schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("S", "B:int", "C:int"),
+		schema.NewRelation("T", "C:int", "D:int"),
+	)
+}
+
+// BuiltinCatalog returns a named catalog: "rst", "orderbook", or "tpch".
+func BuiltinCatalog(name string) (*schema.Catalog, bool) {
+	switch strings.ToLower(name) {
+	case "rst":
+		return RSTCatalog(), true
+	case "orderbook":
+		return orderbook.Catalog(), true
+	case "tpch", "ssb":
+		return tpch.Catalog(), true
+	}
+	return nil, false
+}
+
+// NamedQuery resolves a demo query name to (SQL, catalog).
+func NamedQuery(name string) (string, *schema.Catalog, bool) {
+	switch strings.ToLower(name) {
+	case "rst", "paper", "fig2":
+		return "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C", RSTCatalog(), true
+	case "vwap":
+		return orderbook.QueryVWAPThreshold, orderbook.Catalog(), true
+	case "turnover":
+		return orderbook.QueryBidTurnover, orderbook.Catalog(), true
+	case "brokers":
+		return orderbook.QueryBrokerActivity, orderbook.Catalog(), true
+	case "ssb41":
+		return tpch.QuerySSB41, tpch.Catalog(), true
+	case "ssb11":
+		return tpch.QuerySSB11, tpch.Catalog(), true
+	case "ssb21":
+		return tpch.QuerySSB21, tpch.Catalog(), true
+	case "ssb31":
+		return tpch.QuerySSB31, tpch.Catalog(), true
+	case "loadmon":
+		return tpch.QueryLoadMonitor, tpch.Catalog(), true
+	}
+	return "", nil, false
+}
+
+// NamedQueries lists the available demo query names.
+func NamedQueries() []string {
+	return []string{"rst", "vwap", "turnover", "brokers", "ssb41", "ssb11", "ssb21", "ssb31", "loadmon"}
+}
+
+// ParseTables builds a catalog from specs like "R(A:int,B:float)".
+func ParseTables(specs []string) (*schema.Catalog, error) {
+	cat := schema.NewCatalog()
+	for _, spec := range specs {
+		open := strings.IndexByte(spec, '(')
+		if open < 0 || !strings.HasSuffix(spec, ")") {
+			return nil, fmt.Errorf("cli: malformed table spec %q (want Name(col:type,...))", spec)
+		}
+		name := strings.TrimSpace(spec[:open])
+		if name == "" {
+			return nil, fmt.Errorf("cli: empty table name in %q", spec)
+		}
+		var cols []string
+		for _, c := range strings.Split(spec[open+1:len(spec)-1], ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				continue
+			}
+			if !strings.Contains(c, ":") {
+				return nil, fmt.Errorf("cli: malformed column %q in %q", c, spec)
+			}
+			cols = append(cols, c)
+		}
+		if len(cols) == 0 {
+			return nil, fmt.Errorf("cli: table %q has no columns", name)
+		}
+		rel, err := safeNewRelation(name, cols)
+		if err != nil {
+			return nil, err
+		}
+		cat.Add(rel)
+	}
+	return cat, nil
+}
+
+func safeNewRelation(name string, cols []string) (rel *schema.Relation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cli: %v", r)
+		}
+	}()
+	return schema.NewRelation(name, cols...), nil
+}

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"testing"
+
+	"dbtoaster/internal/engine"
+)
+
+func TestBuiltinCatalogs(t *testing.T) {
+	for _, name := range []string{"rst", "orderbook", "tpch", "ssb", "RST"} {
+		if _, ok := BuiltinCatalog(name); !ok {
+			t.Errorf("BuiltinCatalog(%q) missing", name)
+		}
+	}
+	if _, ok := BuiltinCatalog("nope"); ok {
+		t.Error("phantom catalog")
+	}
+}
+
+func TestNamedQueriesAllCompile(t *testing.T) {
+	for _, name := range NamedQueries() {
+		src, cat, ok := NamedQuery(name)
+		if !ok {
+			t.Fatalf("NamedQuery(%q) missing", name)
+		}
+		if _, err := engine.Prepare(src, cat); err != nil {
+			t.Errorf("query %q does not prepare: %v", name, err)
+		}
+	}
+	if _, _, ok := NamedQuery("mystery"); ok {
+		t.Error("phantom query")
+	}
+}
+
+func TestParseTables(t *testing.T) {
+	cat, err := ParseTables([]string{"R(A:int,B:float)", "S( X:string )"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := cat.Relation("R")
+	if !ok || r.Arity() != 2 {
+		t.Errorf("R = %v", r)
+	}
+	s, ok := cat.Relation("s")
+	if !ok || s.Arity() != 1 {
+		t.Errorf("S = %v", s)
+	}
+}
+
+func TestParseTablesErrors(t *testing.T) {
+	for _, spec := range []string{
+		"R",           // no parens
+		"R(A:int",     // unterminated
+		"(A:int)",     // no name
+		"R()",         // no columns
+		"R(A)",        // no type
+		"R(A:plasma)", // unknown type
+	} {
+		if _, err := ParseTables([]string{spec}); err == nil {
+			t.Errorf("ParseTables(%q) should fail", spec)
+		}
+	}
+}

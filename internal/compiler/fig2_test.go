@@ -1,0 +1,60 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure2Golden pins the rendered compilation table for the paper's
+// example query: levels 1–3, all six events, the six maps, and the exact
+// handler statements of the published Figure 2.
+func TestFigure2Golden(t *testing.T) {
+	c := compile(t, paperSQL)
+	got := Figure2(c)
+
+	// Every published map definition appears (canonical naming).
+	for _, want := range []string{
+		"q[] := Sum{}(",                        // the result
+		":= Sum{k0}(S(k0,s0) * T(s0,s1) * s1)", // qD[b]
+		":= Sum{k0}(R(s0,k0) * s0)",            // qA[b]
+		":= Sum{k0}(T(k0,s0) * s0)",            // qD[c]
+		":= Sum{k0}(R(s0,s1) * S(s1,k0) * s0)", // qA[c]
+		":= Sum{k0,k1}(S(k0,k1))",              // q1[b,c]
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Figure 2 missing %q\n%s", want, got)
+		}
+	}
+	// The published handler bodies (paper Section 3), modulo naming:
+	for _, want := range []string{
+		"q += (@r_a * m1[@r_b])", // q += a * q_D_b[b]
+		"m2[@r_b] += @r_a",       // q_A_b[b] += a
+		"foreach (k0) in m5[@r_b,k0]: m4[k0] += (@r_a * @lv1)", // foreach c: q_A_c[c] += a*q1[b,c]
+		"q += (m2[@s_b] * m3[@s_c])",                           // q += q_A_b[b]*q_D_c[c]
+		"m1[@s_b] += m3[@s_c]",                                 // q_D_b[b] += q_D_c[c]
+		"m4[@s_c] += m2[@s_b]",                                 // q_A_c[c] += q_A_b[b]
+		"m5[@s_b,@s_c] += 1",                                   // q_1_bc[b][c] += 1
+		"q += (@t_d * m4[@t_c])",                               // q += q_A_c[c]*d
+		"m3[@t_c] += @t_d",                                     // q_D_c[c] += d
+		"foreach (k0) in m5[k0,@t_c]: m1[k0] += (@t_d * @lv1)", // foreach b: q_D_b[b] += q1[b,c]*d
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Figure 2 missing handler %q\n%s", want, got)
+		}
+	}
+	// Levels reach 3 as in the paper (q1's own maintenance).
+	if !strings.Contains(got, "Maps (6 total)") {
+		t.Errorf("expected exactly 6 maps\n%s", got)
+	}
+	for _, lvl := range []string{"1      +R", "2      +R", "3      +S"} {
+		if !strings.Contains(got, lvl) {
+			t.Errorf("missing level row %q\n%s", lvl, got)
+		}
+	}
+	// Deletion events are strictly analogous (sum has an inverse).
+	for _, ev := range []string{"-R", "-S", "-T"} {
+		if !strings.Contains(got, ev) {
+			t.Errorf("missing deletion event %s", ev)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/delta"
+	"dbtoaster/internal/ir"
+	"dbtoaster/internal/simplify"
+	"dbtoaster/internal/types"
+)
+
+// materialize turns one simplified delta monomial into a trigger statement,
+// creating (or sharing) the maps that carry its relation-bearing subterms.
+//
+// The decomposition implements the paper's remaining algebra rules:
+//
+//   - factorization: scalar factors whose variables are all event
+//     parameters stay outside the maps (sum(a·D) = a·sum(D));
+//   - join elimination: relation atoms connect into components only
+//     through variables summed inside the statement, so independent
+//     sides of a join become independent map lookups;
+//   - scan elision: equalities binding target keys to parameters become
+//     direct map addressing instead of loops.
+func (c *Compiler) materialize(target *ir.MapDecl, ev delta.Event, mono simplify.Monomial) (*ir.Stmt, error) {
+	params := map[algebra.Var]bool{}
+	for _, p := range ev.Params {
+		params[p] = true
+	}
+	outs := map[algebra.Var]bool{}
+	for _, k := range target.Keys {
+		outs[k] = true
+	}
+
+	// 1. Classify factors.
+	var rels []*algebra.Rel
+	var guards []algebra.Term
+	for _, f := range mono.Factors {
+		switch f := f.(type) {
+		case *algebra.Rel:
+			rels = append(rels, f)
+		case *algebra.Val, *algebra.Cmp, *algebra.Lift:
+			guards = append(guards, f)
+		default:
+			return nil, fmt.Errorf("unexpected factor %s in delta monomial", f)
+		}
+	}
+	relVars := map[algebra.Var]bool{}
+	for _, r := range rels {
+		for _, v := range r.Vars {
+			relVars[v] = true
+		}
+	}
+	interior := func(v algebra.Var) bool { return !params[v] && !outs[v] }
+
+	// 2. Guards fold into the maps when relation columns cover all their
+	// variables; otherwise they stay in the statement.
+	var folds, stays []algebra.Term
+	for _, g := range guards {
+		fv := algebra.FreeVars(g)
+		foldable := len(rels) > 0 && len(fv) > 0
+		for _, v := range fv {
+			if !relVars[v] {
+				foldable = false
+				break
+			}
+		}
+		if foldable {
+			folds = append(folds, g)
+		} else {
+			stays = append(stays, g)
+		}
+	}
+
+	// 3. Interior variables referenced by statement-side guards must be
+	// enumerable: promote them to map keys. Lift targets are computed, not
+	// enumerated.
+	promoted := map[algebra.Var]bool{}
+	computed := map[algebra.Var]bool{}
+	for _, g := range stays {
+		liftVar := algebra.Var("")
+		if l, ok := g.(*algebra.Lift); ok && interior(l.Var) && !relVars[l.Var] {
+			liftVar = l.Var
+			computed[l.Var] = true
+		}
+		for _, v := range algebra.FreeVars(g) {
+			if v == liftVar {
+				continue
+			}
+			if interior(v) && relVars[v] {
+				promoted[v] = true
+			}
+		}
+	}
+
+	// 4. Group relation atoms into connected components: two atoms join
+	// only when they share an interior variable (shared parameters or
+	// output variables do not force a join — that is the factorization).
+	parent := make([]int, len(rels))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	varHome := map[algebra.Var]int{}
+	for i, r := range rels {
+		for _, v := range r.Vars {
+			if !interior(v) {
+				continue
+			}
+			if j, ok := varHome[v]; ok {
+				union(i, j)
+			} else {
+				varHome[v] = i
+			}
+		}
+	}
+	// Folded guards may bridge components (e.g. a theta-join predicate).
+	relOfVar := map[algebra.Var]int{}
+	for i, r := range rels {
+		for _, v := range r.Vars {
+			relOfVar[v] = i
+		}
+	}
+	guardHome := make([]int, len(folds))
+	for gi, g := range folds {
+		first := -1
+		for _, v := range algebra.FreeVars(g) {
+			j := relOfVar[v]
+			if first == -1 {
+				first = j
+			} else {
+				union(first, j)
+			}
+		}
+		guardHome[gi] = first
+	}
+
+	// 5. Materialize each component as a (possibly shared) map.
+	external := map[algebra.Var]bool{}
+	for v := range params {
+		external[v] = true
+	}
+	for v := range outs {
+		external[v] = true
+	}
+	for v := range promoted {
+		external[v] = true
+	}
+	type component struct {
+		decl     *ir.MapDecl
+		extOrder []algebra.Var // original variable per key position
+		asLoop   bool
+		valueVar algebra.Var
+	}
+	groups := map[int][]algebra.Term{}
+	var roots []int
+	for i, r := range rels {
+		root := find(i)
+		if _, ok := groups[root]; !ok {
+			roots = append(roots, root)
+		}
+		groups[root] = append(groups[root], r)
+	}
+	for gi, g := range folds {
+		root := find(guardHome[gi])
+		groups[root] = append(groups[root], g)
+	}
+	sort.Ints(roots)
+	comps := make([]*component, 0, len(roots))
+	for _, root := range roots {
+		def, extOrder := canonicalize(groups[root], external, nil)
+		decl := c.register(def, "", target.Level+1, false)
+		comps = append(comps, &component{decl: decl, extOrder: extOrder})
+	}
+
+	// 6. Resolve variable availability: parameters are given; equalities
+	// and lifts bind target keys and computed variables; loops over
+	// component map slices enumerate the rest.
+	available := map[algebra.Var]bool{}
+	for v := range params {
+		available[v] = true
+	}
+	resolved := map[algebra.Var]algebra.ValExpr{}
+	type pendingItem struct {
+		lift *algebra.Lift
+		cmp  *algebra.Cmp
+	}
+	var pending []pendingItem
+	var leftover []algebra.Term // stays guards that remain multiplicative
+	for _, g := range stays {
+		switch g := g.(type) {
+		case *algebra.Lift:
+			pending = append(pending, pendingItem{lift: g})
+		case *algebra.Cmp:
+			if g.Op == algebra.CmpEq {
+				pending = append(pending, pendingItem{cmp: g})
+			} else {
+				leftover = append(leftover, g)
+			}
+		default:
+			leftover = append(leftover, g)
+		}
+	}
+	exprReady := func(e algebra.ValExpr) bool {
+		for _, v := range algebra.FreeVars(&algebra.Val{Expr: e}) {
+			if !available[v] {
+				return false
+			}
+		}
+		return true
+	}
+	needsBinding := func(v algebra.Var) bool {
+		return (outs[v] || computed[v]) && !available[v]
+	}
+
+	var loops []ir.Loop
+	loopN := 0
+	for {
+		changed := false
+		rest := pending[:0]
+		for _, it := range pending {
+			switch {
+			case it.lift != nil:
+				l := it.lift
+				if !exprReady(l.Expr) {
+					rest = append(rest, it)
+					continue
+				}
+				if available[l.Var] {
+					// Already bound: the lift degenerates to an equality check.
+					leftover = append(leftover, &algebra.Cmp{Op: algebra.CmpEq, L: &algebra.VVar{Name: l.Var}, R: l.Expr})
+				} else {
+					resolved[l.Var] = l.Expr
+					available[l.Var] = true
+				}
+				changed = true
+			case it.cmp != nil:
+				g := it.cmp
+				lv, lok := g.L.(*algebra.VVar)
+				rv, rok := g.R.(*algebra.VVar)
+				switch {
+				case lok && needsBinding(lv.Name) && exprReady(g.R):
+					resolved[lv.Name] = g.R
+					available[lv.Name] = true
+					changed = true
+				case rok && needsBinding(rv.Name) && exprReady(g.L):
+					resolved[rv.Name] = g.L
+					available[rv.Name] = true
+					changed = true
+				case exprReady(g.L) && exprReady(g.R):
+					leftover = append(leftover, g)
+					changed = true
+				default:
+					rest = append(rest, it)
+				}
+			}
+		}
+		pending = rest
+		if changed {
+			continue
+		}
+		// No binding progressed: open a loop over the component with the
+		// fewest free key positions (cheapest enumeration) that still
+		// binds something new.
+		best := -1
+		bestFree := 0
+		for i, cp := range comps {
+			if cp.asLoop {
+				continue
+			}
+			free := 0
+			for _, v := range cp.extOrder {
+				if !available[v] {
+					free++
+				}
+			}
+			if free == 0 {
+				continue
+			}
+			if best == -1 || free < bestFree {
+				best, bestFree = i, free
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cp := comps[best]
+		cp.asLoop = true
+		loopN++
+		cp.valueVar = fmt.Sprintf("@lv%d", loopN)
+		lp := ir.Loop{
+			Map:      cp.decl.Name,
+			Bound:    make([]ir.Expr, len(cp.extOrder)),
+			FreeVars: make([]algebra.Var, len(cp.extOrder)),
+			ValueVar: cp.valueVar,
+		}
+		for pos, v := range cp.extOrder {
+			if available[v] {
+				lp.Bound[pos] = convertVal(&algebra.VVar{Name: v}, resolved, available)
+			} else {
+				lp.FreeVars[pos] = v
+				available[v] = true
+			}
+		}
+		loops = append(loops, lp)
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("unresolvable bindings in delta of %s on %s: %v left", target.Name, ev.Name(), len(pending))
+	}
+
+	// 7. Validate and assemble.
+	for _, k := range target.Keys {
+		if !available[k] {
+			return nil, fmt.Errorf("target key %s of %s is not derivable for event %s", k, target.Name, ev.Name())
+		}
+	}
+	for _, g := range leftover {
+		for _, v := range algebra.FreeVars(g) {
+			if !available[v] {
+				return nil, fmt.Errorf("variable %s in guard %s is not derivable for event %s", v, g, ev.Name())
+			}
+		}
+	}
+
+	var parts []ir.Expr
+	for _, g := range leftover {
+		switch g := g.(type) {
+		case *algebra.Val:
+			parts = append(parts, convertVal(g.Expr, resolved, available))
+		case *algebra.Cmp:
+			parts = append(parts, &ir.CmpE{
+				Op: g.Op,
+				L:  convertVal(g.L, resolved, available),
+				R:  convertVal(g.R, resolved, available),
+			})
+		default:
+			return nil, fmt.Errorf("unexpected leftover guard %s", g)
+		}
+	}
+	for _, cp := range comps {
+		if cp.asLoop {
+			parts = append(parts, &ir.VarRef{Name: cp.valueVar})
+			continue
+		}
+		keys := make([]ir.Expr, len(cp.extOrder))
+		for i, v := range cp.extOrder {
+			if !available[v] {
+				return nil, fmt.Errorf("lookup key %s of map %s is not derivable for event %s", v, cp.decl.Name, ev.Name())
+			}
+			keys[i] = convertVal(&algebra.VVar{Name: v}, resolved, available)
+		}
+		parts = append(parts, &ir.Lookup{Map: cp.decl.Name, Keys: keys})
+	}
+	deltaExpr := foldProduct(parts)
+
+	keys := make([]ir.Expr, len(target.Keys))
+	for i, k := range target.Keys {
+		keys[i] = convertVal(&algebra.VVar{Name: k}, resolved, available)
+	}
+	return &ir.Stmt{
+		Target: target.Name,
+		Keys:   keys,
+		Loops:  loops,
+		Delta:  deltaExpr,
+		Level:  target.Level,
+	}, nil
+}
+
+// convertVal lowers a scalar algebra expression to a runtime expression,
+// inlining resolved variable definitions.
+func convertVal(e algebra.ValExpr, resolved map[algebra.Var]algebra.ValExpr, available map[algebra.Var]bool) ir.Expr {
+	switch e := e.(type) {
+	case *algebra.VConst:
+		return &ir.Const{Value: e.Value}
+	case *algebra.VVar:
+		if def, ok := resolved[e.Name]; ok {
+			return convertVal(def, resolved, available)
+		}
+		return &ir.VarRef{Name: e.Name}
+	case *algebra.VArith:
+		return &ir.Arith{
+			Op: e.Op,
+			L:  convertVal(e.L, resolved, available),
+			R:  convertVal(e.R, resolved, available),
+		}
+	}
+	return &ir.Const{Value: types.Null}
+}
+
+// foldProduct multiplies expressions, with constant-1 elimination.
+func foldProduct(parts []ir.Expr) ir.Expr {
+	var out ir.Expr
+	for _, p := range parts {
+		if c, ok := p.(*ir.Const); ok && c.Value.Kind().Numeric() && c.Value.Float() == 1 {
+			continue
+		}
+		if out == nil {
+			out = p
+			continue
+		}
+		out = &ir.Arith{Op: '*', L: out, R: p}
+	}
+	if out == nil {
+		return &ir.Const{Value: types.NewInt(1)}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package delta implements delta derivation: given a map-algebra term and
+// an insert or delete event on a base relation, it produces the term
+// denoting the change of the original term's value. Deltas of deltas drive
+// the paper's recursive compilation: each application strictly reduces the
+// number of relation atoms, which is the compiler's termination argument.
+package delta
+
+import (
+	"strings"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+// Event is an insert or delete of one tuple on a base relation. Params are
+// the trigger's formal argument variables, one per column; the convention
+// "@rel_col" keeps them disjoint from every translator-generated variable
+// (SQL identifiers cannot contain '@').
+type Event struct {
+	Rel    *schema.Relation
+	Insert bool
+	Params []algebra.Var
+}
+
+// NewEvent builds an event with canonical parameter names.
+func NewEvent(rel *schema.Relation, insert bool) Event {
+	params := make([]algebra.Var, rel.Arity())
+	for i, c := range rel.Columns {
+		params[i] = "@" + strings.ToLower(rel.Name) + "_" + strings.ToLower(c.Name)
+	}
+	return Event{Rel: rel, Insert: insert, Params: params}
+}
+
+// Name renders the event like "+R" or "-R".
+func (ev Event) Name() string {
+	if ev.Insert {
+		return "+" + ev.Rel.Name
+	}
+	return "-" + ev.Rel.Name
+}
+
+// Apply returns the delta of t with respect to the event. The result is
+// un-simplified; callers run it through internal/simplify.
+//
+// Rules:
+//
+//	ΔR(x⃗)        = ±Π[xᵢ = pᵢ]      when R is the event relation, else 0
+//	Δ(a + b)     = Δa + Δb
+//	Δ(a · b)     = Δa·b + a·Δb + Δa·Δb
+//	ΔAggSum(g,b) = AggSum(g, Δb)
+//	Δc           = 0 for Val, Cmp, Lift, MapRef
+func Apply(t algebra.Term, ev Event) algebra.Term {
+	switch t := t.(type) {
+	case *algebra.Rel:
+		if !strings.EqualFold(t.Name, ev.Rel.Name) {
+			return algebra.Zero()
+		}
+		factors := make([]algebra.Term, 0, len(t.Vars)+1)
+		if !ev.Insert {
+			factors = append(factors, algebra.ConstVal(types.NewInt(-1)))
+		}
+		for i, v := range t.Vars {
+			factors = append(factors, algebra.EqVarVar(v, ev.Params[i]))
+		}
+		if len(factors) == 0 {
+			// Zero-column relation: the delta is the constant ±1.
+			return algebra.One()
+		}
+		return algebra.NewProd(factors...)
+	case *algebra.Sum:
+		out := make([]algebra.Term, 0, len(t.Terms))
+		for _, x := range t.Terms {
+			if d := Apply(x, ev); !algebra.IsZero(d) {
+				out = append(out, d)
+			}
+		}
+		if len(out) == 0 {
+			return algebra.Zero()
+		}
+		return algebra.NewSum(out...)
+	case *algebra.Prod:
+		return prodDelta(t.Factors, ev)
+	case *algebra.AggSum:
+		return &algebra.AggSum{
+			GroupVars: append([]algebra.Var{}, t.GroupVars...),
+			Body:      Apply(t.Body, ev),
+		}
+	default:
+		// Val, Cmp, Lift, MapRef: constants with respect to base data.
+		return algebra.Zero()
+	}
+}
+
+// prodDelta applies the product rule pairwise down the factor list,
+// pruning zero branches as it goes (Δ of an unrelated factor is 0, so
+// without pruning an n-factor product would expand to 3ⁿ terms).
+func prodDelta(fs []algebra.Term, ev Event) algebra.Term {
+	if len(fs) == 0 {
+		return algebra.Zero()
+	}
+	if len(fs) == 1 {
+		return Apply(fs[0], ev)
+	}
+	head := fs[0]
+	rest := &algebra.Prod{Factors: fs[1:]}
+	dHead := Apply(head, ev)
+	dRest := prodDelta(fs[1:], ev)
+	headZero, restZero := algebra.IsZero(dHead), algebra.IsZero(dRest)
+	switch {
+	case headZero && restZero:
+		return algebra.Zero()
+	case headZero:
+		return algebra.NewProd(head, dRest)
+	case restZero:
+		return algebra.NewProd(dHead, rest)
+	default:
+		return algebra.NewSum(
+			algebra.NewProd(dHead, rest),
+			algebra.NewProd(head, dRest),
+			algebra.NewProd(dHead, dRest),
+		)
+	}
+}
+
+// Touches reports whether an event on relation rel changes the value of t.
+func Touches(t algebra.Term, rel string) bool {
+	for _, r := range algebra.Relations(t) {
+		if strings.EqualFold(r, rel) {
+			return true
+		}
+	}
+	return false
+}

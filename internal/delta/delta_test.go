@@ -1,0 +1,223 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/simplify"
+	"dbtoaster/internal/store"
+	"dbtoaster/internal/types"
+)
+
+var (
+	relR = schema.NewRelation("R", "A:int", "B:int")
+	relS = schema.NewRelation("S", "B:int", "C:int")
+	relT = schema.NewRelation("T", "C:int", "D:int")
+)
+
+// paperBody is R(a,b) * S(b,c) * T(c,d) * (a*d).
+func paperBody() algebra.Term {
+	return algebra.NewProd(
+		algebra.NewRel("R", "a", "b"),
+		algebra.NewRel("S", "b", "c"),
+		algebra.NewRel("T", "c", "d"),
+		&algebra.Val{Expr: &algebra.VArith{Op: '*', L: &algebra.VVar{Name: "a"}, R: &algebra.VVar{Name: "d"}}},
+	)
+}
+
+func boundParams(ev Event) func(algebra.Var) bool {
+	set := map[algebra.Var]bool{}
+	for _, p := range ev.Params {
+		set[p] = true
+	}
+	return func(v algebra.Var) bool { return set[v] }
+}
+
+func TestEventNaming(t *testing.T) {
+	ins := NewEvent(relR, true)
+	del := NewEvent(relR, false)
+	if ins.Name() != "+R" || del.Name() != "-R" {
+		t.Errorf("names = %s %s", ins.Name(), del.Name())
+	}
+	if ins.Params[0] != "@r_a" || ins.Params[1] != "@r_b" {
+		t.Errorf("params = %v", ins.Params)
+	}
+}
+
+func TestDeltaInsertR(t *testing.T) {
+	// Paper: Δ+R(sum(A*D)) simplifies to (@r_a * d) weighted join of S,T
+	// with b replaced by the parameter — the first row of Figure 2.
+	ev := NewEvent(relR, true)
+	d := Apply(paperBody(), ev)
+	ms := simplify.Simplify(d, boundParams(ev))
+	if len(ms) != 1 {
+		t.Fatalf("monomials = %v", ms)
+	}
+	got := ms[0].String()
+	if !strings.Contains(got, "S(@r_b,c)") {
+		t.Errorf("R scan not elided: %s", got)
+	}
+	if strings.Contains(got, "R(") {
+		t.Errorf("R atom remains: %s", got)
+	}
+	if !strings.Contains(got, "@r_a") || !strings.Contains(got, "* d") {
+		t.Errorf("value factor wrong: %s", got)
+	}
+}
+
+func TestDeltaInsertSEliminatesJoin(t *testing.T) {
+	// Δ+S splits into R-side times T-side with no shared variables —
+	// the join elimination the paper highlights.
+	ev := NewEvent(relS, true)
+	d := Apply(paperBody(), ev)
+	ms := simplify.Simplify(d, boundParams(ev))
+	if len(ms) != 1 {
+		t.Fatalf("monomials = %v", ms)
+	}
+	got := ms[0].String()
+	if !strings.Contains(got, "R(a,@s_b)") || !strings.Contains(got, "T(@s_c,d)") {
+		t.Errorf("S delta = %s", got)
+	}
+	// R-side and T-side share no variables.
+	if strings.Contains(got, "S(") {
+		t.Errorf("S atom remains: %s", got)
+	}
+}
+
+func TestDeltaDeleteCarriesSign(t *testing.T) {
+	ev := NewEvent(relR, false)
+	d := Apply(paperBody(), ev)
+	ms := simplify.Simplify(d, boundParams(ev))
+	if len(ms) != 1 {
+		t.Fatalf("monomials = %v", ms)
+	}
+	if !strings.Contains(ms[0].String(), "-1") {
+		t.Errorf("delete sign missing: %s", ms[0])
+	}
+}
+
+func TestDeltaUnrelatedRelationIsZero(t *testing.T) {
+	ev := NewEvent(schema.NewRelation("Z", "X:int"), true)
+	d := Apply(paperBody(), ev)
+	if ms := simplify.Simplify(d, boundParams(ev)); len(ms) != 0 {
+		t.Errorf("unrelated delta nonzero: %v", ms)
+	}
+}
+
+func TestDeltaSelfJoinCrossTerm(t *testing.T) {
+	// q = Σ R(a1,b) R(a2,b): Δ+R must contain two linear terms and the
+	// quadratic cross term (the inserted tuple joining itself).
+	body := algebra.NewProd(
+		algebra.NewRel("R", "a1", "b"),
+		algebra.NewRel("R", "a2", "b"),
+	)
+	ev := NewEvent(relR, true)
+	ms := simplify.Simplify(Apply(body, ev), boundParams(ev))
+	if len(ms) != 3 {
+		t.Fatalf("monomials = %d, want 3: %v", len(ms), ms)
+	}
+	// One monomial must be relation-free (the ΔΔ cross term).
+	crossFree := 0
+	for _, m := range ms {
+		if algebra.RelAtomCount(m.Term()) == 0 {
+			crossFree++
+		}
+	}
+	if crossFree != 1 {
+		t.Errorf("cross terms = %d, want 1: %v", crossFree, ms)
+	}
+}
+
+func TestDeltaReducesAtomCount(t *testing.T) {
+	ev := NewEvent(relR, true)
+	body := paperBody()
+	before := algebra.RelAtomCount(body)
+	for _, m := range simplify.Simplify(Apply(body, ev), boundParams(ev)) {
+		if got := algebra.RelAtomCount(m.Term()); got >= before {
+			t.Errorf("delta atom count %d not below %d", got, before)
+		}
+	}
+}
+
+func TestDeltaAggSum(t *testing.T) {
+	term := &algebra.AggSum{GroupVars: []algebra.Var{"b"}, Body: algebra.NewRel("R", "a", "b")}
+	ev := NewEvent(relR, true)
+	d := Apply(term, ev)
+	as, ok := d.(*algebra.AggSum)
+	if !ok || len(as.GroupVars) != 1 {
+		t.Fatalf("delta of AggSum = %s", d)
+	}
+}
+
+// TestDeltaCorrectnessAgainstOracle replays a small event stream, checking
+// after every event that (old value + evaluated delta) equals the value
+// evaluated from the new base state — the algebraic soundness of Apply.
+func TestDeltaCorrectnessAgainstOracle(t *testing.T) {
+	cat := schema.NewCatalog(relR, relS, relT)
+	db := store.New(cat)
+	query := &algebra.AggSum{Body: paperBody()}
+
+	events := []struct {
+		rel    string
+		insert bool
+		vals   [2]int64
+	}{
+		{"R", true, [2]int64{1, 10}}, {"S", true, [2]int64{10, 100}},
+		{"T", true, [2]int64{100, 7}}, {"R", true, [2]int64{2, 10}},
+		{"S", true, [2]int64{10, 200}}, {"T", true, [2]int64{200, 9}},
+		{"R", false, [2]int64{1, 10}}, {"S", false, [2]int64{10, 100}},
+		{"R", true, [2]int64{1, 10}}, {"T", false, [2]int64{100, 7}},
+	}
+	rels := map[string]*schema.Relation{"R": relR, "S": relS, "T": relT}
+	current, err := algebra.EvalScalar(db, query, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range events {
+		ev := NewEvent(rels[e.rel], e.insert)
+		dTerm := Apply(query.Body, ev)
+		env := algebra.Env{
+			ev.Params[0]: types.NewInt(e.vals[0]),
+			ev.Params[1]: types.NewInt(e.vals[1]),
+		}
+		// Delta is evaluated against the PRE-state, after simplification
+		// (equality propagation turns the [x = @p] indicators into bindings).
+		var dv float64
+		for _, m := range simplify.Simplify(dTerm, boundParams(ev)) {
+			v, err := algebra.EvalScalar(db, &algebra.AggSum{Body: m.Term()}, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dv += v
+		}
+		tuple := types.Tuple{types.NewInt(e.vals[0]), types.NewInt(e.vals[1])}
+		if e.insert {
+			err = db.Insert(e.rel, tuple)
+		} else {
+			err = db.Delete(e.rel, tuple)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := algebra.EvalScalar(db, query, algebra.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if current+dv != after {
+			t.Fatalf("event %d %s%v: old %v + Δ %v != new %v", i, ev.Name(), tuple, current, dv, after)
+		}
+		current = after
+	}
+	if current == 0 {
+		t.Error("stream should end with a non-zero result (sanity)")
+	}
+}
+
+func TestTouches(t *testing.T) {
+	body := paperBody()
+	if !Touches(body, "R") || !Touches(body, "s") || Touches(body, "Z") {
+		t.Error("Touches misreports")
+	}
+}

@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"fmt"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/delta"
+	"dbtoaster/internal/exec"
+	"dbtoaster/internal/store"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/translate"
+	"dbtoaster/internal/types"
+)
+
+// baseline holds the state shared by the Naive and FirstOrderIVM engines:
+// the base-table store and, per (sub)query and component, the current
+// grouped aggregate values keyed by the component definition's group
+// variables (group-by columns, plus the lifted value for MIN/MAX).
+type baseline struct {
+	q     *Query
+	db    *store.Store
+	state map[*translate.Query][]algebra.GroupedResult
+}
+
+func newBaseline(q *Query) *baseline {
+	b := &baseline{q: q, db: store.New(q.Catalog), state: map[*translate.Query][]algebra.GroupedResult{}}
+	var init func(*translate.Query)
+	init = func(qq *translate.Query) {
+		b.state[qq] = make([]algebra.GroupedResult, len(qq.Components))
+		for i := range qq.Components {
+			b.state[qq][i] = algebra.GroupedResult{}
+		}
+		for _, s := range qq.Subqueries {
+			init(s.Query)
+		}
+	}
+	init(q.Translated)
+	return b
+}
+
+func (b *baseline) apply(ev stream.Event) (types.Tuple, error) {
+	args, err := coerce(b.q.Catalog, ev)
+	if err != nil {
+		return nil, err
+	}
+	if ev.Op == stream.Insert {
+		err = b.db.Insert(ev.Relation, args)
+	} else {
+		err = b.db.Delete(ev.Relation, args)
+	}
+	return args, err
+}
+
+// MemEntries counts stored base tuples plus cached aggregate entries.
+func (b *baseline) MemEntries() int {
+	n := 0
+	for _, rel := range b.q.Catalog.Relations() {
+		if t, ok := b.db.Table(rel.Name); ok {
+			n += t.Len()
+		}
+	}
+	for _, comps := range b.state {
+		for _, g := range comps {
+			n += len(g)
+		}
+	}
+	return n
+}
+
+// stateComp reads a component value from the cached grouped results.
+func (b *baseline) stateComp(q *translate.Query, idx int, group types.Tuple) (types.Value, error) {
+	comp := q.Components[idx]
+	st := b.state[q][idx]
+	switch comp.Kind {
+	case translate.CompSum, translate.CompCount:
+		return types.NewFloat(st[types.EncodeKey(group)]), nil
+	case translate.CompMin, translate.CompMax:
+		// Keys are (group..., value): scan for the extremum of the group.
+		var best types.Value
+		found := false
+		for k, cnt := range st {
+			if cnt == 0 {
+				continue
+			}
+			tup := types.DecodeKey(k)
+			if len(tup) != len(group)+1 || !tup[:len(group)].Equal(group) {
+				continue
+			}
+			v := tup[len(group)]
+			if !found {
+				best, found = v, true
+				continue
+			}
+			if comp.Kind == translate.CompMin && v.Compare(best) < 0 {
+				best = v
+			}
+			if comp.Kind == translate.CompMax && v.Compare(best) > 0 {
+				best = v
+			}
+		}
+		if !found {
+			return types.Null, nil
+		}
+		return best, nil
+	}
+	return types.Null, fmt.Errorf("engine: unknown component kind %v", comp.Kind)
+}
+
+// stateGroups enumerates groups with non-zero support from the exists
+// component's cached result.
+func (b *baseline) stateGroups(q *translate.Query) ([]types.Tuple, error) {
+	if len(q.GroupVars) == 0 {
+		return []types.Tuple{nil}, nil
+	}
+	var out []types.Tuple
+	for k, v := range b.state[q][q.ExistsIdx] {
+		if v != 0 {
+			out = append(out, types.DecodeKey(k))
+		}
+	}
+	return out, nil
+}
+
+// recompute re-evaluates every component of qq (subqueries first, since
+// their values parameterize the outer WHERE clause).
+func (b *baseline) recompute(qq *translate.Query) error {
+	for _, s := range qq.Subqueries {
+		if err := b.recompute(s.Query); err != nil {
+			return err
+		}
+	}
+	env, err := subValueEnv(qq, b.stateComp)
+	if err != nil {
+		return err
+	}
+	for i, comp := range qq.Components {
+		res, err := exec.Run(b.db, comp.Term.Body, comp.Term.GroupVars, env)
+		if err != nil {
+			return err
+		}
+		b.state[qq][i] = res
+	}
+	return nil
+}
+
+// Naive re-evaluates the full query through the Volcano interpreter on
+// every delta: the DBMS-style baseline of the bakeoff.
+type Naive struct {
+	*baseline
+}
+
+// NewNaive builds the baseline.
+func NewNaive(q *Query) *Naive { return &Naive{baseline: newBaseline(q)} }
+
+// Name implements Engine.
+func (n *Naive) Name() string { return "naive-reeval" }
+
+// OnEvent implements Engine.
+func (n *Naive) OnEvent(ev stream.Event) error {
+	if _, err := n.apply(ev); err != nil {
+		return err
+	}
+	return n.recompute(n.q.Translated)
+}
+
+// Results implements Engine.
+func (n *Naive) Results() (*Result, error) {
+	return buildResult(n.q.Translated, n.stateGroups, n.stateComp)
+}
+
+// FirstOrderIVM maintains every component with classic single-level delta
+// queries evaluated against the base tables: the stream-engine-style
+// baseline. Queries whose WHERE references subquery values fall back to
+// re-evaluating the outer blocks (their predicates shift with every inner
+// change, which first-order deltas cannot express); the subquery blocks
+// themselves stay incremental.
+type FirstOrderIVM struct {
+	*baseline
+}
+
+// NewIVM builds the baseline.
+func NewIVM(q *Query) *FirstOrderIVM { return &FirstOrderIVM{baseline: newBaseline(q)} }
+
+// Name implements Engine.
+func (f *FirstOrderIVM) Name() string { return "first-order-ivm" }
+
+// OnEvent implements Engine.
+func (f *FirstOrderIVM) OnEvent(ev stream.Event) error {
+	rel, ok := f.q.Catalog.Relation(ev.Relation)
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %q", ev.Relation)
+	}
+	dev := delta.NewEvent(rel, ev.Op == stream.Insert)
+	args, err := coerce(f.q.Catalog, ev)
+	if err != nil {
+		return err
+	}
+	env := algebra.Env{}
+	for i, p := range dev.Params {
+		env[p] = args[i]
+	}
+
+	// Phase 1: evaluate all deltas against the PRE-state.
+	type patch struct {
+		q    *translate.Query
+		comp int
+		dlt  algebra.GroupedResult
+	}
+	var patches []patch
+	var collect func(*translate.Query) error
+	collect = func(qq *translate.Query) error {
+		for _, s := range qq.Subqueries {
+			if err := collect(s.Query); err != nil {
+				return err
+			}
+		}
+		if len(qq.Subqueries) > 0 {
+			return nil // recomputed in phase 3
+		}
+		for i, comp := range qq.Components {
+			if !delta.Touches(comp.Term.Body, ev.Relation) {
+				continue
+			}
+			dTerm := delta.Apply(comp.Term.Body, dev)
+			res, err := exec.Run(f.db, dTerm, comp.Term.GroupVars, env)
+			if err != nil {
+				return err
+			}
+			patches = append(patches, patch{q: qq, comp: i, dlt: res})
+		}
+		return nil
+	}
+	if err := collect(f.q.Translated); err != nil {
+		return err
+	}
+
+	// Phase 2: apply the base delta and the aggregate patches.
+	if _, err := f.apply(ev); err != nil {
+		return err
+	}
+	for _, p := range patches {
+		st := f.state[p.q][p.comp]
+		for k, v := range p.dlt {
+			st[k] += v
+			if st[k] == 0 {
+				delete(st, k)
+			}
+		}
+	}
+
+	// Phase 3: re-evaluate blocks whose predicates depend on subquery
+	// values (POST-state).
+	var refresh func(*translate.Query) error
+	refresh = func(qq *translate.Query) error {
+		for _, s := range qq.Subqueries {
+			if err := refresh(s.Query); err != nil {
+				return err
+			}
+		}
+		if len(qq.Subqueries) == 0 {
+			return nil
+		}
+		env, err := subValueEnv(qq, f.stateComp)
+		if err != nil {
+			return err
+		}
+		for i, comp := range qq.Components {
+			res, err := exec.Run(f.db, comp.Term.Body, comp.Term.GroupVars, env)
+			if err != nil {
+				return err
+			}
+			f.state[qq][i] = res
+		}
+		return nil
+	}
+	return refresh(f.q.Translated)
+}
+
+// Results implements Engine.
+func (f *FirstOrderIVM) Results() (*Result, error) {
+	return buildResult(f.q.Translated, f.stateGroups, f.stateComp)
+}

@@ -1,0 +1,368 @@
+// Package exec implements a classic Volcano-style iterator query executor
+// over the multiset store: scans, hash joins, filters, computed columns,
+// and grouped aggregation, assembled by a small greedy planner from map-
+// algebra terms. This is the "query plan interpreter" whose per-event
+// overhead DBToaster eliminates; it powers the Naive (full re-evaluation)
+// and FirstOrderIVM baseline engines and nothing in the compiled path.
+package exec
+
+import (
+	"fmt"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/simplify"
+	"dbtoaster/internal/store"
+	"dbtoaster/internal/types"
+)
+
+// Row is a tuple with its ring weight (multiplicity × scalar factors).
+type Row struct {
+	Tuple  types.Tuple
+	Weight float64
+}
+
+// Iterator is the Volcano operator interface.
+type Iterator interface {
+	// Open prepares the operator; Next returns rows until ok is false.
+	Open() error
+	Next() (Row, bool)
+	// Schema lists the variable bound to each tuple position.
+	Schema() []algebra.Var
+}
+
+// Run evaluates term grouped by groupVars against db, with env binding
+// parameters (used by the first-order IVM engine for delta queries). The
+// term is normalized to monomials; each is planned independently and the
+// results accumulate.
+func Run(db *store.Store, term algebra.Term, groupVars []algebra.Var, env algebra.Env) (algebra.GroupedResult, error) {
+	bound := func(v algebra.Var) bool {
+		if _, ok := env[v]; ok {
+			return true
+		}
+		for _, g := range groupVars {
+			if g == v {
+				return true
+			}
+		}
+		return false
+	}
+	out := algebra.GroupedResult{}
+	for _, mono := range simplify.Simplify(term, bound) {
+		if err := runMonomial(db, mono, groupVars, env, out); err != nil {
+			return nil, err
+		}
+	}
+	for k, v := range out {
+		if v == 0 {
+			delete(out, k)
+		}
+	}
+	return out, nil
+}
+
+// RunScalar evaluates a closed term to a single value.
+func RunScalar(db *store.Store, term algebra.Term, env algebra.Env) (float64, error) {
+	res, err := Run(db, term, nil, env)
+	if err != nil {
+		return 0, err
+	}
+	return res[types.EncodeKey(nil)], nil
+}
+
+func runMonomial(db *store.Store, mono simplify.Monomial, groupVars []algebra.Var, env algebra.Env, out algebra.GroupedResult) error {
+	factors, env := prebindGroupVars(mono.Factors, groupVars, env)
+	plan, constWeight, err := Plan(db, factors, env)
+	if err != nil {
+		return err
+	}
+	if plan == nil {
+		// Pure scalar monomial: one logical row.
+		key := make(types.Tuple, len(groupVars))
+		for i, g := range groupVars {
+			v, ok := env[g]
+			if !ok {
+				return fmt.Errorf("exec: group variable %s unbound in scalar monomial", g)
+			}
+			key[i] = v
+		}
+		out[types.EncodeKey(key)] += constWeight
+		return nil
+	}
+	if err := plan.Open(); err != nil {
+		return err
+	}
+	schema := plan.Schema()
+	pos := make([]int, len(groupVars))
+	for i, g := range groupVars {
+		pos[i] = -1
+		for j, v := range schema {
+			if v == g {
+				pos[i] = j
+			}
+		}
+	}
+	key := make(types.Tuple, len(groupVars))
+	for {
+		row, ok := plan.Next()
+		if !ok {
+			break
+		}
+		for i, p := range pos {
+			if p >= 0 {
+				key[i] = row.Tuple[p]
+			} else if v, ok := env[groupVars[i]]; ok {
+				key[i] = v
+			} else {
+				return fmt.Errorf("exec: group variable %s not produced by plan", groupVars[i])
+			}
+		}
+		out[types.EncodeKey(key)] += row.Weight * constWeight
+	}
+	return nil
+}
+
+// prebindGroupVars resolves group variables pinned by delta equalities or
+// lifts over already-bound values (e.g. [s_c = @s_c] in a delta monomial):
+// the variable enters the environment and the factor disappears, which both
+// fixes the output key and pushes the selection into the scans.
+func prebindGroupVars(factors []algebra.Term, groupVars []algebra.Var, env algebra.Env) ([]algebra.Term, algebra.Env) {
+	isGroup := map[algebra.Var]bool{}
+	for _, g := range groupVars {
+		isGroup[g] = true
+	}
+	env = env.Clone()
+	out := append([]algebra.Term{}, factors...)
+	evaluable := func(e algebra.ValExpr) (types.Value, bool) {
+		for _, v := range algebra.FreeVars(&algebra.Val{Expr: e}) {
+			if _, ok := env[v]; !ok {
+				return types.Null, false
+			}
+		}
+		v, err := algebra.EvalVal(e, env)
+		return v, err == nil
+	}
+	for {
+		progressed := false
+		for i, f := range out {
+			var target algebra.Var
+			var expr algebra.ValExpr
+			switch f := f.(type) {
+			case *algebra.Cmp:
+				if f.Op != algebra.CmpEq {
+					continue
+				}
+				if lv, ok := f.L.(*algebra.VVar); ok {
+					target, expr = lv.Name, f.R
+				}
+				if rv, ok := f.R.(*algebra.VVar); ok {
+					if _, bound := env[target]; target == "" || !isGroup[target] || bound {
+						target, expr = rv.Name, f.L
+					}
+				}
+			case *algebra.Lift:
+				target, expr = f.Var, f.Expr
+			default:
+				continue
+			}
+			if target == "" || !isGroup[target] {
+				continue
+			}
+			if _, bound := env[target]; bound {
+				continue
+			}
+			v, ok := evaluable(expr)
+			if !ok {
+				continue
+			}
+			env[target] = v
+			out = append(out[:i], out[i+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return out, env
+		}
+	}
+}
+
+// Plan builds a left-deep iterator tree for a monomial's factors: scans
+// joined greedily (hash joins on shared variables, cross joins otherwise),
+// guards applied as soon as their variables are bound. The constant weight
+// of parameter-only factors is returned separately; a nil iterator means
+// the monomial had no relation atoms.
+func Plan(db *store.Store, factors []algebra.Term, env algebra.Env) (Iterator, float64, error) {
+	var rels []*algebra.Rel
+	var guards []algebra.Term
+	constWeight := 1.0
+	for _, f := range factors {
+		switch f := f.(type) {
+		case *algebra.Rel:
+			rels = append(rels, f)
+		case *algebra.Val, *algebra.Cmp, *algebra.Lift:
+			guards = append(guards, f)
+		case *algebra.AggSum:
+			return nil, 0, fmt.Errorf("exec: nested AggSum not supported in plans (got %s)", f)
+		default:
+			return nil, 0, fmt.Errorf("exec: cannot plan factor %s", f)
+		}
+	}
+	if len(rels) == 0 {
+		// All guards must be evaluable from env alone.
+		for _, g := range guards {
+			w, err := guardWeight(g, env)
+			if err != nil {
+				return nil, 0, err
+			}
+			constWeight *= w
+		}
+		return nil, constWeight, nil
+	}
+
+	// Greedy left-deep join order: start from the first scan, prefer
+	// joins that share variables with the current prefix.
+	used := make([]bool, len(rels))
+	cur := Iterator(newScan(db, rels[0], env))
+	used[0] = true
+	attach := func(it Iterator) (Iterator, error) {
+		return applyReadyGuards(it, &guards, env)
+	}
+	var err error
+	cur, err = attach(cur)
+	if err != nil {
+		return nil, 0, err
+	}
+	for n := 1; n < len(rels); n++ {
+		pick := -1
+		var shared []algebra.Var
+		for i, r := range rels {
+			if used[i] {
+				continue
+			}
+			sv := sharedVars(cur.Schema(), r.Vars)
+			if len(sv) > 0 {
+				pick, shared = i, sv
+				break
+			}
+			if pick == -1 {
+				pick = i
+			}
+		}
+		right := newScan(db, rels[pick], env)
+		used[pick] = true
+		if len(shared) > 0 {
+			cur = newHashJoin(cur, right, shared)
+		} else {
+			cur = newCrossJoin(cur, right)
+		}
+		cur, err = attach(cur)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if len(guards) > 0 {
+		return nil, 0, fmt.Errorf("exec: guard %s has unbound variables", guards[0])
+	}
+	return cur, constWeight, nil
+}
+
+func guardWeight(g algebra.Term, env algebra.Env) (float64, error) {
+	switch g := g.(type) {
+	case *algebra.Val:
+		v, err := algebra.EvalVal(g.Expr, env)
+		if err != nil {
+			return 0, err
+		}
+		return v.Float(), nil
+	case *algebra.Cmp:
+		l, err := algebra.EvalVal(g.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := algebra.EvalVal(g.R, env)
+		if err != nil {
+			return 0, err
+		}
+		if g.Op.Eval(l, r) {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("exec: guard %s not evaluable from parameters", g)
+}
+
+// applyReadyGuards wraps it with Filter/Extend/Scale operators for every
+// guard whose variables are now bound (schema + env). Lifts may bind new
+// columns, which can make further guards ready, so this iterates.
+func applyReadyGuards(it Iterator, guards *[]algebra.Term, env algebra.Env) (Iterator, error) {
+	for {
+		progressed := false
+		rest := (*guards)[:0]
+		for _, g := range *guards {
+			if l, ok := g.(*algebra.Lift); ok {
+				if !varsAvailable(freeOf(&algebra.Val{Expr: l.Expr}), it.Schema(), env) {
+					rest = append(rest, g)
+					continue
+				}
+				if hasVar(it.Schema(), l.Var) {
+					// Already a column: equality filter.
+					it = newFilter(it, &algebra.Cmp{Op: algebra.CmpEq, L: &algebra.VVar{Name: l.Var}, R: l.Expr}, env)
+				} else if _, bound := env[l.Var]; bound {
+					it = newFilter(it, &algebra.Cmp{Op: algebra.CmpEq, L: &algebra.VVar{Name: l.Var}, R: l.Expr}, env)
+				} else {
+					it = newExtend(it, l.Var, l.Expr, env)
+				}
+				progressed = true
+				continue
+			}
+			if !varsAvailable(freeOf(g), it.Schema(), env) {
+				rest = append(rest, g)
+				continue
+			}
+			switch g := g.(type) {
+			case *algebra.Cmp:
+				it = newFilter(it, g, env)
+			case *algebra.Val:
+				it = newScale(it, g.Expr, env)
+			}
+			progressed = true
+		}
+		*guards = rest
+		if !progressed {
+			return it, nil
+		}
+	}
+}
+
+func freeOf(t algebra.Term) []algebra.Var { return algebra.FreeVars(t) }
+
+func varsAvailable(vars []algebra.Var, schema []algebra.Var, env algebra.Env) bool {
+	for _, v := range vars {
+		if !hasVar(schema, v) {
+			if _, ok := env[v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasVar(schema []algebra.Var, v algebra.Var) bool {
+	for _, s := range schema {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sharedVars(schema []algebra.Var, vars []algebra.Var) []algebra.Var {
+	var out []algebra.Var
+	seen := map[algebra.Var]bool{}
+	for _, v := range vars {
+		if !seen[v] && hasVar(schema, v) {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/store"
+	"dbtoaster/internal/types"
+)
+
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	cat := schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("S", "B:int", "C:int"),
+		schema.NewRelation("T", "C:int", "D:int"),
+	)
+	db := store.New(cat)
+	ins := func(rel string, a, b int64) {
+		if err := db.Insert(rel, types.Tuple{types.NewInt(a), types.NewInt(b)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("R", 1, 10)
+	ins("R", 2, 10)
+	ins("R", 3, 20)
+	ins("S", 10, 100)
+	ins("S", 20, 200)
+	ins("T", 100, 7)
+	ins("T", 200, 9)
+	return db
+}
+
+func paperTerm() algebra.Term {
+	return algebra.NewProd(
+		algebra.NewRel("R", "a", "b"),
+		algebra.NewRel("S", "b", "c"),
+		algebra.NewRel("T", "c", "d"),
+		&algebra.Val{Expr: &algebra.VArith{Op: '*', L: &algebra.VVar{Name: "a"}, R: &algebra.VVar{Name: "d"}}},
+	)
+}
+
+func TestRunMatchesOracle(t *testing.T) {
+	db := testStore(t)
+	got, err := RunScalar(db, paperTerm(), algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.EvalScalar(db, &algebra.AggSum{Body: paperTerm()}, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || got != 48 {
+		t.Errorf("exec = %v, oracle = %v", got, want)
+	}
+}
+
+func TestRunGrouped(t *testing.T) {
+	db := testStore(t)
+	term := algebra.NewProd(algebra.NewRel("R", "a", "b"), algebra.VarVal("a"))
+	got, err := Run(db, term, []algebra.Var{"b"}, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.Eval(db, term, []algebra.Var{"b"}, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups %d vs %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %v: %v vs %v", types.DecodeKey(k), got[k], v)
+		}
+	}
+}
+
+func TestRunWithEnvBindings(t *testing.T) {
+	db := testStore(t)
+	// Delta-style evaluation: b bound to 10.
+	term := algebra.NewProd(algebra.NewRel("S", "b", "c"), algebra.NewRel("T", "c", "d"), algebra.VarVal("d"))
+	got, err := RunScalar(db, term, algebra.Env{"b": types.NewInt(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("bound eval = %v, want 7", got)
+	}
+}
+
+func TestRunCrossJoinAndGuards(t *testing.T) {
+	db := testStore(t)
+	// R × T with an inequality guard (theta join through cross product).
+	term := algebra.NewProd(
+		algebra.NewRel("R", "a", "b"),
+		algebra.NewRel("T", "c", "d"),
+		&algebra.Cmp{Op: algebra.CmpLt, L: &algebra.VVar{Name: "a"}, R: &algebra.VVar{Name: "d"}},
+	)
+	got, err := RunScalar(db, term, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.EvalScalar(db, &algebra.AggSum{Body: term}, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("theta join = %v, oracle %v", got, want)
+	}
+}
+
+func TestRunLift(t *testing.T) {
+	db := testStore(t)
+	// Group R rows by computed value a+1: count per lifted value.
+	term := algebra.NewProd(
+		algebra.NewRel("R", "a", "b"),
+		&algebra.Lift{Var: "v", Expr: &algebra.VArith{Op: '+', L: &algebra.VVar{Name: "a"}, R: &algebra.VConst{Value: types.NewInt(1)}}},
+	)
+	got, err := Run(db, term, []algebra.Var{"v"}, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("lift groups = %v", got)
+	}
+	k := types.EncodeKey(types.Tuple{types.NewInt(2)})
+	if got[k] != 1 {
+		t.Errorf("count at v=2: %v", got[k])
+	}
+}
+
+func TestRunRepeatedVarScan(t *testing.T) {
+	cat := schema.NewCatalog(schema.NewRelation("P", "X:int", "Y:int"))
+	db := store.New(cat)
+	for _, p := range [][2]int64{{1, 1}, {1, 2}, {3, 3}} {
+		if err := db.Insert("P", types.Tuple{types.NewInt(p[0]), types.NewInt(p[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := RunScalar(db, algebra.NewRel("P", "x", "x"), algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("P(x,x) = %v, want 2", got)
+	}
+}
+
+func TestRunSelfJoin(t *testing.T) {
+	db := testStore(t)
+	term := algebra.NewProd(
+		algebra.NewRel("R", "a1", "b"),
+		algebra.NewRel("R", "a2", "b"),
+		&algebra.Val{Expr: &algebra.VArith{Op: '*', L: &algebra.VVar{Name: "a1"}, R: &algebra.VVar{Name: "a2"}}},
+	)
+	got, err := RunScalar(db, term, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.EvalScalar(db, &algebra.AggSum{Body: term}, algebra.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("self join = %v, oracle %v", got, want)
+	}
+}
+
+// TestRandomTermsAgainstOracle cross-checks the executor against the
+// tuple-at-a-time oracle on randomly built conjunctive terms.
+func TestRandomTermsAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cat := schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("S", "B:int", "C:int"),
+		schema.NewRelation("T", "C:int", "D:int"),
+	)
+	for trial := 0; trial < 30; trial++ {
+		db := store.New(cat)
+		for i := 0; i < 30; i++ {
+			rel := []string{"R", "S", "T"}[r.Intn(3)]
+			tup := types.Tuple{types.NewInt(int64(r.Intn(5))), types.NewInt(int64(r.Intn(5)))}
+			if r.Intn(5) == 0 {
+				_ = db.Delete(rel, tup)
+			} else {
+				_ = db.Insert(rel, tup)
+			}
+		}
+		// Random chain: R ⋈ S (on b) ⋈ T (on c), with random guard.
+		factors := []algebra.Term{
+			algebra.NewRel("R", "a", "b"),
+			algebra.NewRel("S", "b", "c"),
+		}
+		if r.Intn(2) == 0 {
+			factors = append(factors, algebra.NewRel("T", "c", "d"), algebra.VarVal("d"))
+		}
+		factors = append(factors, algebra.VarVal("a"))
+		if r.Intn(2) == 0 {
+			factors = append(factors, &algebra.Cmp{Op: algebra.CmpGte, L: &algebra.VVar{Name: "a"}, R: &algebra.VConst{Value: types.NewInt(int64(r.Intn(4)))}})
+		}
+		term := algebra.NewProd(factors...)
+		gv := []algebra.Var{}
+		if r.Intn(2) == 0 {
+			gv = append(gv, "b")
+		}
+		got, err := Run(db, term, gv, algebra.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := algebra.Eval(db, term, gv, algebra.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d groups vs %d\nterm %s", trial, len(got), len(want), term)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("trial %d key %v: %v vs %v", trial, types.DecodeKey(k), got[k], v)
+			}
+		}
+	}
+}

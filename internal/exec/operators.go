@@ -1,0 +1,366 @@
+package exec
+
+import (
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/store"
+	"dbtoaster/internal/types"
+)
+
+// scan reads a base relation, binding its columns to the atom's variables.
+// Repeated variables and variables bound in env become selection filters;
+// the output schema carries each variable once.
+type scan struct {
+	db     *store.Store
+	rel    *algebra.Rel
+	env    algebra.Env
+	schema []algebra.Var
+	// outPos[i] is the source column of output position i.
+	outPos []int
+	// eqPairs are column pairs that must agree (repeated variables).
+	eqPairs [][2]int
+	// envChecks are (column, value) requirements from env bindings.
+	envChecks []envCheck
+	rows      []Row
+	idx       int
+}
+
+type envCheck struct {
+	col int
+	val types.Value
+}
+
+func newScan(db *store.Store, rel *algebra.Rel, env algebra.Env) *scan {
+	s := &scan{db: db, rel: rel, env: env}
+	firstPos := map[algebra.Var]int{}
+	for i, v := range rel.Vars {
+		if val, bound := env[v]; bound {
+			s.envChecks = append(s.envChecks, envCheck{col: i, val: val})
+			continue
+		}
+		if j, seen := firstPos[v]; seen {
+			s.eqPairs = append(s.eqPairs, [2]int{j, i})
+			continue
+		}
+		firstPos[v] = i
+		s.schema = append(s.schema, v)
+		s.outPos = append(s.outPos, i)
+	}
+	return s
+}
+
+func (s *scan) Schema() []algebra.Var { return s.schema }
+
+func (s *scan) Open() error {
+	s.rows = s.rows[:0]
+	s.idx = 0
+	s.db.Scan(s.rel.Name, func(t types.Tuple, mult float64) {
+		for _, c := range s.envChecks {
+			if !t[c.col].Equal(c.val) {
+				return
+			}
+		}
+		for _, p := range s.eqPairs {
+			if !t[p[0]].Equal(t[p[1]]) {
+				return
+			}
+		}
+		out := make(types.Tuple, len(s.outPos))
+		for i, p := range s.outPos {
+			out[i] = t[p]
+		}
+		s.rows = append(s.rows, Row{Tuple: out, Weight: mult})
+	})
+	return nil
+}
+
+func (s *scan) Next() (Row, bool) {
+	if s.idx >= len(s.rows) {
+		return Row{}, false
+	}
+	r := s.rows[s.idx]
+	s.idx++
+	return r, true
+}
+
+// hashJoin is an equi-join on shared variable names: build on the right,
+// probe from the left. The output schema is left ++ (right minus shared).
+type hashJoin struct {
+	left, right Iterator
+	shared      []algebra.Var
+	schema      []algebra.Var
+	leftKeyPos  []int
+	rightKeyPos []int
+	rightOutPos []int
+	table       map[types.Key][]Row
+	// probe state
+	cur     Row
+	matches []Row
+	mi      int
+	opened  bool
+}
+
+func newHashJoin(left, right Iterator, shared []algebra.Var) *hashJoin {
+	j := &hashJoin{left: left, right: right, shared: shared}
+	ls, rs := left.Schema(), right.Schema()
+	j.schema = append(j.schema, ls...)
+	for _, v := range shared {
+		for i, s := range ls {
+			if s == v {
+				j.leftKeyPos = append(j.leftKeyPos, i)
+				break
+			}
+		}
+		for i, s := range rs {
+			if s == v {
+				j.rightKeyPos = append(j.rightKeyPos, i)
+				break
+			}
+		}
+	}
+	for i, v := range rs {
+		if !hasVar(shared, v) {
+			j.schema = append(j.schema, v)
+			j.rightOutPos = append(j.rightOutPos, i)
+		}
+	}
+	return j
+}
+
+func (j *hashJoin) Schema() []algebra.Var { return j.schema }
+
+func (j *hashJoin) Open() error {
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[types.Key][]Row)
+	key := make(types.Tuple, len(j.rightKeyPos))
+	for {
+		r, ok := j.right.Next()
+		if !ok {
+			break
+		}
+		for i, p := range j.rightKeyPos {
+			key[i] = r.Tuple[p]
+		}
+		k := types.EncodeKey(key)
+		j.table[k] = append(j.table[k], r)
+	}
+	j.matches = nil
+	j.mi = 0
+	j.opened = true
+	return j.left.Open()
+}
+
+func (j *hashJoin) Next() (Row, bool) {
+	for {
+		if j.mi < len(j.matches) {
+			r := j.matches[j.mi]
+			j.mi++
+			out := make(types.Tuple, 0, len(j.schema))
+			out = append(out, j.cur.Tuple...)
+			for _, p := range j.rightOutPos {
+				out = append(out, r.Tuple[p])
+			}
+			return Row{Tuple: out, Weight: j.cur.Weight * r.Weight}, true
+		}
+		l, ok := j.left.Next()
+		if !ok {
+			return Row{}, false
+		}
+		key := make(types.Tuple, len(j.leftKeyPos))
+		for i, p := range j.leftKeyPos {
+			key[i] = l.Tuple[p]
+		}
+		j.cur = l
+		j.matches = j.table[types.EncodeKey(key)]
+		j.mi = 0
+	}
+}
+
+// crossJoin is the no-shared-variables fallback.
+type crossJoin struct {
+	left, right Iterator
+	schema      []algebra.Var
+	rightRows   []Row
+	cur         Row
+	ri          int
+	haveCur     bool
+}
+
+func newCrossJoin(left, right Iterator) *crossJoin {
+	return &crossJoin{left: left, right: right,
+		schema: append(append([]algebra.Var{}, left.Schema()...), right.Schema()...)}
+}
+
+func (c *crossJoin) Schema() []algebra.Var { return c.schema }
+
+func (c *crossJoin) Open() error {
+	if err := c.right.Open(); err != nil {
+		return err
+	}
+	c.rightRows = c.rightRows[:0]
+	for {
+		r, ok := c.right.Next()
+		if !ok {
+			break
+		}
+		c.rightRows = append(c.rightRows, r)
+	}
+	c.ri = 0
+	c.haveCur = false
+	return c.left.Open()
+}
+
+func (c *crossJoin) Next() (Row, bool) {
+	for {
+		if c.haveCur && c.ri < len(c.rightRows) {
+			r := c.rightRows[c.ri]
+			c.ri++
+			out := make(types.Tuple, 0, len(c.schema))
+			out = append(out, c.cur.Tuple...)
+			out = append(out, r.Tuple...)
+			return Row{Tuple: out, Weight: c.cur.Weight * r.Weight}, true
+		}
+		l, ok := c.left.Next()
+		if !ok {
+			return Row{}, false
+		}
+		c.cur = l
+		c.ri = 0
+		c.haveCur = true
+	}
+}
+
+// exprEval compiles a scalar expression against a schema into a closure.
+func exprEval(e algebra.ValExpr, schema []algebra.Var, env algebra.Env) func(types.Tuple) types.Value {
+	switch e := e.(type) {
+	case *algebra.VConst:
+		v := e.Value
+		return func(types.Tuple) types.Value { return v }
+	case *algebra.VVar:
+		for i, s := range schema {
+			if s == e.Name {
+				idx := i
+				return func(t types.Tuple) types.Value { return t[idx] }
+			}
+		}
+		v := env[e.Name]
+		return func(types.Tuple) types.Value { return v }
+	case *algebra.VArith:
+		l := exprEval(e.L, schema, env)
+		r := exprEval(e.R, schema, env)
+		op := e.Op
+		return func(t types.Tuple) types.Value {
+			switch op {
+			case '+':
+				return types.Add(l(t), r(t))
+			case '-':
+				return types.Sub(l(t), r(t))
+			case '*':
+				return types.Mul(l(t), r(t))
+			default:
+				return types.Div(l(t), r(t))
+			}
+		}
+	}
+	return func(types.Tuple) types.Value { return types.Null }
+}
+
+// filter drops rows failing a comparison.
+type filter struct {
+	in   Iterator
+	cmp  *algebra.Cmp
+	env  algebra.Env
+	l, r func(types.Tuple) types.Value
+}
+
+func newFilter(in Iterator, cmp *algebra.Cmp, env algebra.Env) *filter {
+	return &filter{in: in, cmp: cmp, env: env}
+}
+
+func (f *filter) Schema() []algebra.Var { return f.in.Schema() }
+
+func (f *filter) Open() error {
+	f.l = exprEval(f.cmp.L, f.in.Schema(), f.env)
+	f.r = exprEval(f.cmp.R, f.in.Schema(), f.env)
+	return f.in.Open()
+}
+
+func (f *filter) Next() (Row, bool) {
+	for {
+		row, ok := f.in.Next()
+		if !ok {
+			return Row{}, false
+		}
+		if f.cmp.Op.Eval(f.l(row.Tuple), f.r(row.Tuple)) {
+			return row, true
+		}
+	}
+}
+
+// extend appends a computed column (Lift).
+type extend struct {
+	in     Iterator
+	v      algebra.Var
+	expr   algebra.ValExpr
+	env    algebra.Env
+	schema []algebra.Var
+	fn     func(types.Tuple) types.Value
+}
+
+func newExtend(in Iterator, v algebra.Var, expr algebra.ValExpr, env algebra.Env) *extend {
+	return &extend{in: in, v: v, expr: expr, env: env,
+		schema: append(append([]algebra.Var{}, in.Schema()...), v)}
+}
+
+func (e *extend) Schema() []algebra.Var { return e.schema }
+
+func (e *extend) Open() error {
+	e.fn = exprEval(e.expr, e.in.Schema(), e.env)
+	return e.in.Open()
+}
+
+func (e *extend) Next() (Row, bool) {
+	row, ok := e.in.Next()
+	if !ok {
+		return Row{}, false
+	}
+	out := make(types.Tuple, 0, len(e.schema))
+	out = append(out, row.Tuple...)
+	out = append(out, e.fn(row.Tuple))
+	return Row{Tuple: out, Weight: row.Weight}, true
+}
+
+// scale multiplies the row weight by a scalar expression (Val factors).
+type scale struct {
+	in   Iterator
+	expr algebra.ValExpr
+	env  algebra.Env
+	fn   func(types.Tuple) types.Value
+}
+
+func newScale(in Iterator, expr algebra.ValExpr, env algebra.Env) *scale {
+	return &scale{in: in, expr: expr, env: env}
+}
+
+func (s *scale) Schema() []algebra.Var { return s.in.Schema() }
+
+func (s *scale) Open() error {
+	s.fn = exprEval(s.expr, s.in.Schema(), s.env)
+	return s.in.Open()
+}
+
+func (s *scale) Next() (Row, bool) {
+	for {
+		row, ok := s.in.Next()
+		if !ok {
+			return Row{}, false
+		}
+		w := s.fn(row.Tuple).Float()
+		if w == 0 {
+			continue
+		}
+		row.Weight *= w
+		return row, true
+	}
+}

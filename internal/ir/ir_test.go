@@ -1,0 +1,154 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/types"
+)
+
+func intConst(n int64) Expr { return &Const{Value: types.NewInt(n)} }
+
+func TestExprStrings(t *testing.T) {
+	e := &Arith{Op: '*',
+		L: &VarRef{Name: "@r_a"},
+		R: &Lookup{Map: "m1", Keys: []Expr{&VarRef{Name: "@r_b"}}},
+	}
+	if got := e.String(); got != "(@r_a * m1[@r_b])" {
+		t.Errorf("String = %q", got)
+	}
+	c := &CmpE{Op: algebra.CmpLt, L: intConst(1), R: intConst(2)}
+	if got := c.String(); got != "(1 < 2)" {
+		t.Errorf("cmp = %q", got)
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	s := &Stmt{
+		Target: "m4",
+		Keys:   []Expr{&VarRef{Name: "k0"}},
+		Loops: []Loop{{
+			Map:      "m5",
+			Bound:    []Expr{&VarRef{Name: "@r_b"}, nil},
+			FreeVars: []algebra.Var{"", "k0"},
+			ValueVar: "@lv1",
+		}},
+		Delta: &Arith{Op: '*', L: &VarRef{Name: "@r_a"}, R: &VarRef{Name: "@lv1"}},
+	}
+	want := "foreach (k0) in m5[@r_b,k0]: m4[k0] += (@r_a * @lv1)"
+	if got := s.String(); got != want {
+		t.Errorf("stmt = %q, want %q", got, want)
+	}
+}
+
+func TestScalarTargetString(t *testing.T) {
+	s := &Stmt{Target: "q", Delta: intConst(1)}
+	if got := s.String(); got != "q += 1" {
+		t.Errorf("stmt = %q", got)
+	}
+}
+
+func TestTriggerLookup(t *testing.T) {
+	p := &Program{
+		Maps: map[string]*MapDecl{},
+		Triggers: []*Trigger{
+			{Relation: "R", Insert: true},
+			{Relation: "R", Insert: false},
+		},
+	}
+	if p.Trigger("r", true) == nil || p.Trigger("R", false) == nil {
+		t.Error("case-insensitive trigger lookup failed")
+	}
+	if p.Trigger("S", true) != nil {
+		t.Error("phantom trigger")
+	}
+	if p.Triggers[0].Name() != "+R" || p.Triggers[1].Name() != "-R" {
+		t.Error("trigger names wrong")
+	}
+}
+
+func TestSortStmtsOrdersReadersFirst(t *testing.T) {
+	// stmt A updates m1; stmt B reads m1 and updates q. B must run first
+	// (pre-state reads), regardless of insertion order.
+	a := &Stmt{Target: "m1", Delta: intConst(1), Level: 1}
+	b := &Stmt{Target: "q", Delta: &Lookup{Map: "m1"}, Level: 0}
+	p := &Program{
+		Maps:     map[string]*MapDecl{},
+		Triggers: []*Trigger{{Relation: "R", Insert: true, Stmts: []*Stmt{a, b}}},
+	}
+	if err := p.SortStmts(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Triggers[0].Stmts[0] != b {
+		t.Errorf("reader not ordered first")
+	}
+}
+
+func TestSortStmtsDetectsCycle(t *testing.T) {
+	a := &Stmt{Target: "m1", Delta: &Lookup{Map: "m2"}, Level: 1}
+	b := &Stmt{Target: "m2", Delta: &Lookup{Map: "m1"}, Level: 1}
+	p := &Program{
+		Maps:     map[string]*MapDecl{},
+		Triggers: []*Trigger{{Relation: "R", Insert: true, Stmts: []*Stmt{a, b}}},
+	}
+	if err := p.SortStmts(); err == nil {
+		t.Error("read/write cycle not detected")
+	}
+}
+
+func TestSortStmtsSelfReadAllowed(t *testing.T) {
+	// A statement may read its own target (e.g. self-join deltas).
+	a := &Stmt{Target: "q", Delta: &Lookup{Map: "q"}, Level: 0}
+	p := &Program{
+		Maps:     map[string]*MapDecl{},
+		Triggers: []*Trigger{{Relation: "R", Insert: true, Stmts: []*Stmt{a}}},
+	}
+	if err := p.SortStmts(); err != nil {
+		t.Errorf("self-read rejected: %v", err)
+	}
+}
+
+func TestCollectReadsCoversAllPositions(t *testing.T) {
+	s := &Stmt{
+		Target: "t",
+		Keys:   []Expr{&Lookup{Map: "inKey"}},
+		Loops: []Loop{{
+			Map:   "loopMap",
+			Bound: []Expr{&Lookup{Map: "inBound"}},
+		}},
+		Lets:  []Let{{Var: "x", Expr: &Lookup{Map: "inLet"}}},
+		Cond:  &CmpE{Op: algebra.CmpEq, L: &Lookup{Map: "inCond"}, R: intConst(0)},
+		Delta: &Arith{Op: '+', L: &Lookup{Map: "inDelta"}, R: intConst(0)},
+	}
+	set := map[string]bool{}
+	collectReads(s, set)
+	for _, m := range []string{"inKey", "loopMap", "inBound", "inLet", "inCond", "inDelta"} {
+		if !set[m] {
+			t.Errorf("read of %s not collected", m)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	decl := &MapDecl{
+		Name:       "q",
+		Definition: &algebra.AggSum{Body: algebra.NewRel("R", "a")},
+		Sorted:     true,
+	}
+	p := &Program{
+		QueryName: "q",
+		Maps:      map[string]*MapDecl{"q": decl},
+		MapOrder:  []string{"q"},
+		Triggers: []*Trigger{{
+			Relation: "R", Insert: true, Params: []algebra.Var{"@r_a"},
+			Stmts: []*Stmt{{Target: "q", Delta: &VarRef{Name: "@r_a"}}},
+		}},
+	}
+	out := p.String()
+	for _, want := range []string{"map q[] (sorted)", "on +R(@r_a):", "q += @r_a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package orderbook
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/runtime"
+	"dbtoaster/internal/stream"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(1, 100).Events(500)
+	b := NewGenerator(1, 100).Events(500)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("event %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := NewGenerator(2, 100).Events(500)
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorBookStaysBounded(t *testing.T) {
+	g := NewGenerator(3, 50)
+	g.Events(5000)
+	bids, asks := g.BookSizes()
+	if bids > 50 || asks > 50 {
+		t.Errorf("book exceeded bound: %d/%d", bids, asks)
+	}
+	if bids == 0 && asks == 0 {
+		t.Error("books empty after 5000 events")
+	}
+}
+
+func TestGeneratorEventsValid(t *testing.T) {
+	cat := Catalog()
+	g := NewGenerator(4, 80)
+	for _, ev := range g.Events(2000) {
+		rel, ok := cat.Relation(ev.Relation)
+		if !ok {
+			t.Fatalf("unknown relation %s", ev.Relation)
+		}
+		if err := rel.Validate(ev.Args); err != nil {
+			t.Fatalf("invalid event %s: %v", ev, err)
+		}
+		price := ev.Args[2].Float()
+		if price <= 0 || math.Mod(price*4, 1) != 0 {
+			t.Fatalf("price %v is not a positive quarter tick", price)
+		}
+		if vol := ev.Args[3].Float(); vol <= 0 || math.Mod(vol, 1) != 0 {
+			t.Fatalf("volume %v is not a positive integer", vol)
+		}
+	}
+}
+
+func TestDeletesFollowInserts(t *testing.T) {
+	g := NewGenerator(5, 40)
+	live := map[string]bool{}
+	for _, ev := range g.Events(3000) {
+		key := ev.Relation + "/" + ev.Args.String()
+		if ev.Op == stream.Insert {
+			if live[key] {
+				t.Fatalf("duplicate insert of %s", key)
+			}
+			live[key] = true
+		} else {
+			if !live[key] {
+				t.Fatalf("delete of non-resting order %s", key)
+			}
+			delete(live, key)
+		}
+	}
+}
+
+func TestVWAPMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	v := NewVWAP("bids", 0.25)
+	var live []Order
+	nextID := int64(0)
+	for i := 0; i < 800; i++ {
+		if len(live) > 0 && r.Intn(3) == 0 {
+			idx := r.Intn(len(live))
+			o := live[idx]
+			live = append(live[:idx], live[idx+1:]...)
+			if err := v.OnEvent(stream.Event{Op: stream.Delete, Relation: "bids", Args: o.Tuple()}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			nextID++
+			o := Order{
+				ID:     nextID,
+				Broker: int64(r.Intn(5)),
+				Price:  float64(200+r.Intn(100)) * 0.25,
+				Volume: float64(1 + r.Intn(30)),
+			}
+			live = append(live, o)
+			if err := v.OnEvent(stream.Event{Op: stream.Insert, Relation: "bids", Args: o.Tuple()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%50 == 49 {
+			got := v.Value()
+			want := BruteForceVWAP(live, 0.25)
+			if got != want {
+				t.Fatalf("step %d: VWAP = %v, brute force %v (%d orders)", i, got, want, len(live))
+			}
+		}
+	}
+	if v.Levels() == 0 || v.Events() == 0 {
+		t.Error("VWAP processed nothing")
+	}
+}
+
+func TestVWAPIgnoresOtherSide(t *testing.T) {
+	v := NewVWAP("bids", 0.25)
+	g := NewGenerator(6, 30)
+	for _, ev := range g.Events(500) {
+		if err := v.OnEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replaying only ask events must leave the processor untouched.
+	before := v.Value()
+	if err := v.OnEvent(stream.Ins("asks", Order{ID: 1, Price: 1, Volume: 1}.Tuple()...)); err != nil {
+		t.Fatal(err)
+	}
+	if v.Value() != before {
+		t.Error("ask event changed bid VWAP")
+	}
+}
+
+func TestSOBISignal(t *testing.T) {
+	// Heavier, higher-priced bid side → positive imbalance.
+	s := SOBI(1050, 10, 950, 10)
+	if s <= 0 {
+		t.Errorf("bid-heavy SOBI = %v, want positive", s)
+	}
+	if got := SOBI(0, 0, 10, 1); got != 0 {
+		t.Errorf("empty-side SOBI = %v", got)
+	}
+	if got := SOBI(100, 10, 100, 10); got != 0 {
+		t.Errorf("balanced SOBI = %v", got)
+	}
+}
+
+// TestDemoQueriesRunOnAllEngines drives the generator stream through the
+// demo's standing queries on all three engines and requires agreement.
+func TestDemoQueriesRunOnAllEngines(t *testing.T) {
+	queries := []string{
+		QueryVWAPThreshold,
+		QueryBidTurnover,
+		QueryBidDepth,
+		QueryBrokerActivity,
+		QueryBrokerNetBid,
+	}
+	evs := NewGenerator(7, 60).Events(600)
+	for _, src := range queries {
+		q, err := engine.Prepare(src, Catalog())
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		toaster, err := engine.NewToaster(q, runtime.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		engines := []engine.Engine{toaster, engine.NewNaive(q), engine.NewIVM(q)}
+		for _, ev := range evs {
+			for _, e := range engines {
+				if err := e.OnEvent(ev); err != nil {
+					t.Fatalf("%s: %s: %v", src, e.Name(), err)
+				}
+			}
+		}
+		ref, err := engines[0].Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range engines[1:] {
+			got, err := e.Results()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Equal(got) {
+				t.Fatalf("%s: %s disagrees\n%s\nvs\n%s", src, e.Name(), ref, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,555 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"dbtoaster/internal/ir"
+	"dbtoaster/internal/types"
+)
+
+// Options selects execution strategy; both default to the fast path.
+type Options struct {
+	// Interpret executes the IR tree directly instead of pre-compiled
+	// closures (ablation: query-plan-interpretation overhead).
+	Interpret bool
+	// NoSliceIndex disables secondary indexes: foreach loops scan the
+	// whole map and filter (ablation: asymptotic cost of slices).
+	NoSliceIndex bool
+	// StmtWrapper, when set (implies Interpret), is called around every
+	// statement execution; run() performs the statement. The debugger uses
+	// it for stepping and map-diff tracing.
+	StmtWrapper func(stmt *ir.Stmt, run func() error) error
+}
+
+// Engine executes one compiled trigger program over its view maps.
+// Engines are not safe for concurrent use.
+type Engine struct {
+	prog     *ir.Program
+	opts     Options
+	maps     map[string]*Map
+	triggers map[string]*compiledTrigger
+	events   uint64
+}
+
+type compiledTrigger struct {
+	trig  *ir.Trigger
+	fns   []stmtFn // closure mode
+	env   *cenv    // reusable environment (closure mode)
+	ienv  map[string]types.Value
+	slots map[string]int
+}
+
+type cenv struct{ slots []types.Value }
+
+type stmtFn func(env *cenv)
+
+// NewEngine builds maps, slice indexes, and (unless interpreting) the
+// per-trigger closures.
+func NewEngine(prog *ir.Program, opts Options) (*Engine, error) {
+	e := &Engine{
+		prog:     prog,
+		opts:     opts,
+		maps:     make(map[string]*Map, len(prog.Maps)),
+		triggers: make(map[string]*compiledTrigger),
+	}
+	for _, name := range prog.MapOrder {
+		e.maps[name] = NewMap(prog.Maps[name])
+	}
+	// Register slice indexes before any data arrives.
+	if !opts.NoSliceIndex {
+		for _, t := range prog.Triggers {
+			for _, s := range t.Stmts {
+				for _, lp := range s.Loops {
+					if pos := boundPositions(lp); len(pos) > 0 && len(pos) < len(lp.Bound) {
+						e.maps[lp.Map].EnsureSlice(pos)
+					}
+				}
+			}
+		}
+	}
+	for _, t := range prog.Triggers {
+		ct, err := e.compileTrigger(t)
+		if err != nil {
+			return nil, err
+		}
+		e.triggers[triggerKey(t.Relation, t.Insert)] = ct
+	}
+	return e, nil
+}
+
+// Program returns the engine's program.
+func (e *Engine) Program() *ir.Program { return e.prog }
+
+// Map returns a view map by name (nil when unknown).
+func (e *Engine) Map(name string) *Map { return e.maps[name] }
+
+// Events returns the number of processed events.
+func (e *Engine) Events() uint64 { return e.events }
+
+// MemStats reports per-map footprints.
+func (e *Engine) MemStats() []MemStats {
+	out := make([]MemStats, 0, len(e.prog.MapOrder))
+	for _, name := range e.prog.MapOrder {
+		out = append(out, e.maps[name].Stats())
+	}
+	return out
+}
+
+func triggerKey(rel string, insert bool) string {
+	k := strings.ToLower(rel)
+	if insert {
+		return "+" + k
+	}
+	return "-" + k
+}
+
+// OnEvent runs the trigger for one base-relation delta. Unknown relations
+// or relations the query does not mention are ignored (a standing query
+// only reacts to its own inputs).
+func (e *Engine) OnEvent(rel string, insert bool, args types.Tuple) error {
+	e.events++
+	ct, ok := e.triggers[triggerKey(rel, insert)]
+	if !ok {
+		return nil
+	}
+	if len(args) != len(ct.trig.Params) {
+		return fmt.Errorf("runtime: event %s expects %d args, got %d", ct.trig.Name(), len(ct.trig.Params), len(args))
+	}
+	if e.opts.Interpret || e.opts.StmtWrapper != nil {
+		for i, p := range ct.trig.Params {
+			ct.ienv[p] = args[i]
+		}
+		for _, s := range ct.trig.Stmts {
+			s := s
+			run := func() error { return e.interpStmt(s, ct.ienv) }
+			var err error
+			if e.opts.StmtWrapper != nil {
+				err = e.opts.StmtWrapper(s, run)
+			} else {
+				err = run()
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	copy(ct.env.slots, args)
+	for _, fn := range ct.fns {
+		fn(ct.env)
+	}
+	return nil
+}
+
+func boundPositions(lp ir.Loop) []int {
+	var pos []int
+	for i, b := range lp.Bound {
+		if b != nil {
+			pos = append(pos, i)
+		}
+	}
+	return pos
+}
+
+// --- Closure compilation ---
+
+func (e *Engine) compileTrigger(t *ir.Trigger) (*compiledTrigger, error) {
+	ct := &compiledTrigger{trig: t, ienv: make(map[string]types.Value)}
+	// Slot 0..n-1: parameters. Loop variables get per-statement slots
+	// above the parameter block; statements never share loop variables.
+	slots := map[string]int{}
+	for i, p := range t.Params {
+		slots[p] = i
+	}
+	maxSlots := len(t.Params)
+	for _, s := range t.Stmts {
+		n := len(t.Params)
+		local := make(map[string]int, len(slots))
+		for k, v := range slots {
+			local[k] = v
+		}
+		for _, lp := range s.Loops {
+			for _, v := range lp.FreeVars {
+				if v != "" {
+					local[v] = n
+					n++
+				}
+			}
+			if lp.ValueVar != "" {
+				local[lp.ValueVar] = n
+				n++
+			}
+		}
+		fn, err := e.compileStmt(s, local)
+		if err != nil {
+			return nil, err
+		}
+		// compileStmt may append let-binding slots.
+		if n = len(local); n > maxSlots {
+			maxSlots = n
+		}
+		ct.fns = append(ct.fns, fn)
+	}
+	ct.env = &cenv{slots: make([]types.Value, maxSlots)}
+	ct.slots = slots
+	return ct, nil
+}
+
+func (e *Engine) compileStmt(s *ir.Stmt, slots map[string]int) (stmtFn, error) {
+	target := e.maps[s.Target]
+	if target == nil {
+		return nil, fmt.Errorf("runtime: statement targets unknown map %s", s.Target)
+	}
+	// Lets bind after loop variables; they get fresh slots.
+	type letSlot struct {
+		slot int
+		fn   valFn
+	}
+	var lets []letSlot
+	for _, lt := range s.Lets {
+		fn, err := e.compileExpr(lt.Expr, slots)
+		if err != nil {
+			return nil, err
+		}
+		idx := len(slots)
+		slots[lt.Var] = idx
+		lets = append(lets, letSlot{slot: idx, fn: fn})
+	}
+	keyFns := make([]valFn, len(s.Keys))
+	for i, k := range s.Keys {
+		fn, err := e.compileExpr(k, slots)
+		if err != nil {
+			return nil, err
+		}
+		keyFns[i] = fn
+	}
+	var condFn valFn
+	if s.Cond != nil {
+		fn, err := e.compileExpr(s.Cond, slots)
+		if err != nil {
+			return nil, err
+		}
+		condFn = fn
+	}
+	deltaFn, err := e.compileExpr(s.Delta, slots)
+	if err != nil {
+		return nil, err
+	}
+	// The key buffer is reused across calls: Map.Add copies what it keeps,
+	// and engines are single-goroutine.
+	key := make(types.Tuple, len(keyFns))
+	body := func(env *cenv) {
+		for _, lt := range lets {
+			env.slots[lt.slot] = lt.fn(env)
+		}
+		if condFn != nil && !condFn(env).Bool() {
+			return
+		}
+		d := deltaFn(env)
+		f := d.Float()
+		if f == 0 {
+			return
+		}
+		for i, fn := range keyFns {
+			key[i] = fn(env)
+		}
+		target.Add(key, f)
+	}
+	// Wrap loops innermost-out.
+	for i := len(s.Loops) - 1; i >= 0; i-- {
+		wrapped, err := e.compileLoop(s.Loops[i], slots, body)
+		if err != nil {
+			return nil, err
+		}
+		body = wrapped
+	}
+	return body, nil
+}
+
+func (e *Engine) compileLoop(lp ir.Loop, slots map[string]int, body stmtFn) (stmtFn, error) {
+	m := e.maps[lp.Map]
+	if m == nil {
+		return nil, fmt.Errorf("runtime: loop over unknown map %s", lp.Map)
+	}
+	pos := boundPositions(lp)
+	boundFns := make([]valFn, len(pos))
+	for i, p := range pos {
+		fn, err := e.compileExpr(lp.Bound[p], slots)
+		if err != nil {
+			return nil, err
+		}
+		boundFns[i] = fn
+	}
+	type freeSlot struct{ pos, slot int }
+	var frees []freeSlot
+	for p, v := range lp.FreeVars {
+		if v == "" {
+			continue
+		}
+		idx, ok := slots[v]
+		if !ok {
+			return nil, fmt.Errorf("runtime: loop variable %s has no slot", v)
+		}
+		frees = append(frees, freeSlot{pos: p, slot: idx})
+	}
+	valSlot := -1
+	if lp.ValueVar != "" {
+		valSlot = slots[lp.ValueVar]
+	}
+	// Buffers and the visit closure are allocated once per compiled loop
+	// and reused across events: engines are single-goroutine, and loops
+	// never nest through the same compiled statement twice.
+	bound := make(types.Tuple, len(boundFns))
+	var curEnv *cenv
+	visit := func(t types.Tuple, v float64) {
+		for _, fs := range frees {
+			curEnv.slots[fs.slot] = t[fs.pos]
+		}
+		if valSlot >= 0 {
+			curEnv.slots[valSlot] = types.NewFloat(v)
+		}
+		body(curEnv)
+	}
+	useSlice := !e.opts.NoSliceIndex && len(pos) > 0 && len(pos) < len(lp.Bound)
+	if useSlice {
+		slice := m.EnsureSlice(pos)
+		return func(env *cenv) {
+			curEnv = env
+			for i, fn := range boundFns {
+				bound[i] = fn(env)
+			}
+			slice.Iterate(bound, visit)
+		}, nil
+	}
+	// Full scan with filtering (no bound positions, or index disabled).
+	return func(env *cenv) {
+		curEnv = env
+		for i, fn := range boundFns {
+			bound[i] = fn(env)
+		}
+		m.Scan(func(t types.Tuple, val float64) {
+			for i, p := range pos {
+				if !t[p].Equal(bound[i]) {
+					return
+				}
+			}
+			visit(t, val)
+		})
+	}, nil
+}
+
+type valFn func(env *cenv) types.Value
+
+func (e *Engine) compileExpr(x ir.Expr, slots map[string]int) (valFn, error) {
+	switch x := x.(type) {
+	case *ir.Const:
+		v := x.Value
+		return func(*cenv) types.Value { return v }, nil
+	case *ir.VarRef:
+		idx, ok := slots[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("runtime: variable %s has no slot", x.Name)
+		}
+		return func(env *cenv) types.Value { return env.slots[idx] }, nil
+	case *ir.Lookup:
+		m := e.maps[x.Map]
+		if m == nil {
+			return nil, fmt.Errorf("runtime: lookup of unknown map %s", x.Map)
+		}
+		keyFns := make([]valFn, len(x.Keys))
+		for i, k := range x.Keys {
+			fn, err := e.compileExpr(k, slots)
+			if err != nil {
+				return nil, err
+			}
+			keyFns[i] = fn
+		}
+		// Reused buffer: Map.Get only reads the key.
+		key := make(types.Tuple, len(keyFns))
+		return func(env *cenv) types.Value {
+			for i, fn := range keyFns {
+				key[i] = fn(env)
+			}
+			return types.NewFloat(m.Get(key))
+		}, nil
+	case *ir.Arith:
+		l, err := e.compileExpr(x.L, slots)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compileExpr(x.R, slots)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case '+':
+			return func(env *cenv) types.Value { return types.Add(l(env), r(env)) }, nil
+		case '-':
+			return func(env *cenv) types.Value { return types.Sub(l(env), r(env)) }, nil
+		case '*':
+			return func(env *cenv) types.Value { return types.Mul(l(env), r(env)) }, nil
+		case '/':
+			return func(env *cenv) types.Value { return types.Div(l(env), r(env)) }, nil
+		}
+		return nil, fmt.Errorf("runtime: bad arithmetic op %q", x.Op)
+	case *ir.CmpE:
+		l, err := e.compileExpr(x.L, slots)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compileExpr(x.R, slots)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		one, zero := types.NewInt(1), types.NewInt(0)
+		return func(env *cenv) types.Value {
+			if op.Eval(l(env), r(env)) {
+				return one
+			}
+			return zero
+		}, nil
+	}
+	return nil, fmt.Errorf("runtime: unknown expression %T", x)
+}
+
+// --- IR interpreter (ablation path) ---
+
+func (e *Engine) interpStmt(s *ir.Stmt, env map[string]types.Value) error {
+	return e.interpLoops(s, s.Loops, env)
+}
+
+func (e *Engine) interpLoops(s *ir.Stmt, loops []ir.Loop, env map[string]types.Value) error {
+	if len(loops) == 0 {
+		for _, lt := range s.Lets {
+			v, err := e.interpExpr(lt.Expr, env)
+			if err != nil {
+				return err
+			}
+			env[lt.Var] = v
+		}
+		if s.Cond != nil {
+			c, err := e.interpExpr(s.Cond, env)
+			if err != nil {
+				return err
+			}
+			if !c.Bool() {
+				return nil
+			}
+		}
+		d, err := e.interpExpr(s.Delta, env)
+		if err != nil {
+			return err
+		}
+		f := d.Float()
+		if f == 0 {
+			return nil
+		}
+		key := make(types.Tuple, len(s.Keys))
+		for i, k := range s.Keys {
+			v, err := e.interpExpr(k, env)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		e.maps[s.Target].Add(key, f)
+		return nil
+	}
+	lp := loops[0]
+	m := e.maps[lp.Map]
+	pos := boundPositions(lp)
+	bound := make(types.Tuple, len(pos))
+	for i, p := range pos {
+		v, err := e.interpExpr(lp.Bound[p], env)
+		if err != nil {
+			return err
+		}
+		bound[i] = v
+	}
+	var ierr error
+	visit := func(t types.Tuple, val float64) {
+		if ierr != nil {
+			return
+		}
+		for p, v := range lp.FreeVars {
+			if v != "" {
+				env[v] = t[p]
+			}
+		}
+		if lp.ValueVar != "" {
+			env[lp.ValueVar] = types.NewFloat(val)
+		}
+		ierr = e.interpLoops(s, loops[1:], env)
+	}
+	if !e.opts.NoSliceIndex && len(pos) > 0 && len(pos) < len(lp.Bound) {
+		m.EnsureSlice(pos).Iterate(bound, visit)
+		return ierr
+	}
+	m.Scan(func(t types.Tuple, val float64) {
+		for i, p := range pos {
+			if !t[p].Equal(bound[i]) {
+				return
+			}
+		}
+		visit(t, val)
+	})
+	return ierr
+}
+
+func (e *Engine) interpExpr(x ir.Expr, env map[string]types.Value) (types.Value, error) {
+	switch x := x.(type) {
+	case *ir.Const:
+		return x.Value, nil
+	case *ir.VarRef:
+		v, ok := env[x.Name]
+		if !ok {
+			return types.Null, fmt.Errorf("runtime: unbound variable %s", x.Name)
+		}
+		return v, nil
+	case *ir.Lookup:
+		key := make(types.Tuple, len(x.Keys))
+		for i, k := range x.Keys {
+			v, err := e.interpExpr(k, env)
+			if err != nil {
+				return types.Null, err
+			}
+			key[i] = v
+		}
+		return types.NewFloat(e.maps[x.Map].Get(key)), nil
+	case *ir.Arith:
+		l, err := e.interpExpr(x.L, env)
+		if err != nil {
+			return types.Null, err
+		}
+		r, err := e.interpExpr(x.R, env)
+		if err != nil {
+			return types.Null, err
+		}
+		switch x.Op {
+		case '+':
+			return types.Add(l, r), nil
+		case '-':
+			return types.Sub(l, r), nil
+		case '*':
+			return types.Mul(l, r), nil
+		case '/':
+			return types.Div(l, r), nil
+		}
+	case *ir.CmpE:
+		l, err := e.interpExpr(x.L, env)
+		if err != nil {
+			return types.Null, err
+		}
+		r, err := e.interpExpr(x.R, env)
+		if err != nil {
+			return types.Null, err
+		}
+		if x.Op.Eval(l, r) {
+			return types.NewInt(1), nil
+		}
+		return types.NewInt(0), nil
+	}
+	return types.Null, fmt.Errorf("runtime: unknown expression %T", x)
+}

@@ -1,0 +1,223 @@
+// Package runtime executes compiled trigger programs over in-memory view
+// maps. Maps are hash tables from key tuples to float64 aggregate values,
+// with two optional accelerators: slice indexes (secondary indexes over a
+// subset of key positions, backing the compiler's foreach loops) and a
+// sorted treap mirror (backing MIN/MAX and threshold range reads).
+//
+// Programs run either as pre-compiled closures — the Go analogue of the
+// paper's generated C++ — or through a direct IR interpreter kept for the
+// interpretation-overhead ablation. Engines are single-goroutine: one
+// update stream drives one engine, per the paper's execution model.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"dbtoaster/internal/ir"
+	"dbtoaster/internal/treap"
+	"dbtoaster/internal/types"
+)
+
+// Map is one materialized view map.
+type Map struct {
+	decl    *ir.MapDecl
+	entries map[types.Key]*entry
+	slices  []*sliceIndex
+	sorted  *treap.Tree
+	// updates counts non-zero Add calls: the per-map overhead breakdown
+	// the paper's profiler displays (§4.2).
+	updates uint64
+	// peak tracks the high-water entry count.
+	peak int
+}
+
+type entry struct {
+	tuple types.Tuple
+	val   float64
+}
+
+type sliceIndex struct {
+	positions []int // bound key positions
+	buckets   map[types.Key]map[types.Key]*entry
+}
+
+// NewMap creates an empty map for the declaration; a sorted mirror is
+// attached when the compiler requested one.
+func NewMap(decl *ir.MapDecl) *Map {
+	m := &Map{decl: decl, entries: make(map[types.Key]*entry)}
+	if decl.Sorted {
+		m.sorted = treap.New()
+	}
+	return m
+}
+
+// Decl returns the map's declaration.
+func (m *Map) Decl() *ir.MapDecl { return m.decl }
+
+// Name returns the map's name.
+func (m *Map) Name() string { return m.decl.Name }
+
+// Len returns the number of non-zero entries.
+func (m *Map) Len() int { return len(m.entries) }
+
+// Get returns the value at key (0 when absent).
+func (m *Map) Get(key types.Tuple) float64 {
+	if e, ok := m.entries[types.EncodeKey(key)]; ok {
+		return e.val
+	}
+	return 0
+}
+
+// Add adds delta to the entry at key; exact-zero entries are removed
+// (0 and absent are semantically identical for ring aggregates, and
+// removal keeps loop enumerations tight under deletions).
+func (m *Map) Add(key types.Tuple, delta float64) {
+	if delta == 0 {
+		return
+	}
+	m.updates++
+	k := types.EncodeKey(key)
+	e, ok := m.entries[k]
+	if !ok {
+		e = &entry{tuple: key.Clone(), val: delta}
+		m.entries[k] = e
+		for _, s := range m.slices {
+			s.insert(k, e)
+		}
+		if m.sorted != nil {
+			m.sorted.Add(e.tuple, delta)
+		}
+		if len(m.entries) > m.peak {
+			m.peak = len(m.entries)
+		}
+		return
+	}
+	e.val += delta
+	if m.sorted != nil {
+		m.sorted.Add(e.tuple, delta)
+	}
+	if e.val == 0 {
+		delete(m.entries, k)
+		for _, s := range m.slices {
+			s.remove(k, e)
+		}
+	}
+}
+
+// Scan visits every entry.
+func (m *Map) Scan(f func(types.Tuple, float64)) {
+	for _, e := range m.entries {
+		f(e.tuple, e.val)
+	}
+}
+
+// ScanSorted visits entries in key order (requires nothing extra: it sorts
+// a snapshot; intended for result formatting, not hot paths).
+func (m *Map) ScanSorted(f func(types.Tuple, float64)) {
+	es := make([]*entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].tuple.Compare(es[j].tuple) < 0 })
+	for _, e := range es {
+		f(e.tuple, e.val)
+	}
+}
+
+// Tree exposes the sorted mirror (nil when the map is not sorted).
+func (m *Map) Tree() *treap.Tree { return m.sorted }
+
+// EnsureSlice registers a secondary index over the given bound positions,
+// returning its handle. Must be called before any entries exist (the
+// engine does this at construction from the program's loops).
+func (m *Map) EnsureSlice(positions []int) *sliceIndex {
+	for _, s := range m.slices {
+		if equalInts(s.positions, positions) {
+			return s
+		}
+	}
+	if len(m.entries) > 0 {
+		panic("runtime: EnsureSlice after entries exist")
+	}
+	s := &sliceIndex{
+		positions: append([]int{}, positions...),
+		buckets:   make(map[types.Key]map[types.Key]*entry),
+	}
+	m.slices = append(m.slices, s)
+	return s
+}
+
+func (s *sliceIndex) boundKey(t types.Tuple) types.Key {
+	sub := make(types.Tuple, len(s.positions))
+	for i, p := range s.positions {
+		sub[i] = t[p]
+	}
+	return types.EncodeKey(sub)
+}
+
+func (s *sliceIndex) insert(full types.Key, e *entry) {
+	bk := s.boundKey(e.tuple)
+	b, ok := s.buckets[bk]
+	if !ok {
+		b = make(map[types.Key]*entry)
+		s.buckets[bk] = b
+	}
+	b[full] = e
+}
+
+func (s *sliceIndex) remove(full types.Key, e *entry) {
+	bk := s.boundKey(e.tuple)
+	if b, ok := s.buckets[bk]; ok {
+		delete(b, full)
+		if len(b) == 0 {
+			delete(s.buckets, bk)
+		}
+	}
+}
+
+// Iterate visits entries whose bound positions equal boundVals.
+func (s *sliceIndex) Iterate(boundVals types.Tuple, f func(types.Tuple, float64)) {
+	if b, ok := s.buckets[types.EncodeKey(boundVals)]; ok {
+		for _, e := range b {
+			f(e.tuple, e.val)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MemStats summarizes a map's footprint and activity for the profiler:
+// the per-map overhead breakdown the paper's demo displays.
+type MemStats struct {
+	Name    string
+	Entries int
+	Peak    int
+	Updates uint64
+	Slices  int
+	Sorted  bool
+}
+
+// Stats reports the map's footprint and update count.
+func (m *Map) Stats() MemStats {
+	return MemStats{
+		Name:    m.Name(),
+		Entries: len(m.entries),
+		Peak:    m.peak,
+		Updates: m.updates,
+		Slices:  len(m.slices),
+		Sorted:  m.sorted != nil,
+	}
+}
+
+var _ = fmt.Sprintf

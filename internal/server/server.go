@@ -1,0 +1,442 @@
+// Package server implements DBToaster's standalone mode: a line-oriented
+// TCP protocol through which clients register deltas against a compiled
+// standing query and read the maintained views (the paper's "standalone
+// query processor accepting input over a network interface"). One compiled
+// engine serves all connections; events from concurrent clients are
+// serialized, matching the single-stream execution model.
+//
+// Protocol (one command per line, '|'-separated values):
+//
+//	INSERT <relation> v1|v2|...   → OK | ERR <msg>
+//	DELETE <relation> v1|v2|...   → OK | ERR <msg>
+//	REGISTER <name> <sql>         → OK (compiles another standing query)
+//	QUERIES                       → OK <n> then one "name sql" line each
+//	RESULT [name]                 → OK <n> then n result lines
+//	PROGRAM [name]                → OK <n> then the trigger program
+//	STATS                         → OK <events> <entries>
+//	QUIT                          → OK (closes the connection)
+//
+// Deltas feed every registered query; queries registered mid-stream see
+// only subsequent deltas (they start from the empty database, like any
+// standing query).
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/runtime"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/types"
+)
+
+// Server is a standalone standing-query processor hosting one or more
+// compiled queries over a shared catalog.
+type Server struct {
+	mu      sync.Mutex
+	cat     *schema.Catalog
+	queries map[string]*registered
+	order   []string
+	first   string
+	events  uint64
+	ln      net.Listener
+	wg      sync.WaitGroup
+}
+
+type registered struct {
+	q       *engine.Query
+	toaster *engine.Toaster
+}
+
+// New compiles the initial query (registered as "main") for serving.
+func New(sqlText string, cat *schema.Catalog) (*Server, error) {
+	s := &Server{cat: cat, queries: map[string]*registered{}}
+	if err := s.Register("main", sqlText); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Register compiles and installs another standing query. The new view
+// starts from the empty database and maintains itself against subsequent
+// deltas.
+func (s *Server) Register(name, sqlText string) error {
+	q, err := engine.Prepare(sqlText, s.cat)
+	if err != nil {
+		return err
+	}
+	t, err := engine.NewToaster(q, runtime.Options{})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.queries[name]; dup {
+		return fmt.Errorf("query %q already registered", name)
+	}
+	s.queries[name] = &registered{q: q, toaster: t}
+	s.order = append(s.order, name)
+	if s.first == "" {
+		s.first = name
+	}
+	return nil
+}
+
+// lookupLocked resolves a query name ("" = the first registered).
+func (s *Server) lookupLocked(name string) (*registered, error) {
+	if name == "" {
+		name = s.first
+	}
+	r, ok := s.queries[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown query %q", name)
+	}
+	return r, nil
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serve(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for connections to drain.
+func (s *Server) Close() error {
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		quit := s.handle(w, line)
+		w.Flush()
+		if quit {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(w *bufio.Writer, line string) (quit bool) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "INSERT", "DELETE":
+		rel, valstr, _ := strings.Cut(rest, " ")
+		args, err := s.parseTuple(rel, valstr)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
+			return false
+		}
+		op := stream.Insert
+		if strings.EqualFold(cmd, "DELETE") {
+			op = stream.Delete
+		}
+		ev := stream.Event{Op: op, Relation: rel, Args: args}
+		s.mu.Lock()
+		for _, name := range s.order {
+			if e := s.queries[name].toaster.OnEvent(ev); e != nil {
+				err = e
+				break
+			}
+		}
+		if err == nil {
+			s.events++
+		}
+		s.mu.Unlock()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
+			return false
+		}
+		fmt.Fprintln(w, "OK")
+	case "REGISTER":
+		name, sqlText, ok := strings.Cut(rest, " ")
+		if !ok || strings.TrimSpace(sqlText) == "" {
+			fmt.Fprintln(w, "ERR usage: REGISTER <name> <sql>")
+			return false
+		}
+		if err := s.Register(name, sqlText); err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
+			return false
+		}
+		fmt.Fprintln(w, "OK")
+	case "QUERIES":
+		s.mu.Lock()
+		fmt.Fprintf(w, "OK %d\n", len(s.order))
+		for _, name := range s.order {
+			fmt.Fprintf(w, "%s %s\n", name, strings.Join(strings.Fields(s.queries[name].q.SQL), " "))
+		}
+		s.mu.Unlock()
+	case "RESULT":
+		s.mu.Lock()
+		r, err := s.lookupLocked(strings.TrimSpace(rest))
+		var res *engine.Result
+		if err == nil {
+			res, err = r.toaster.Results()
+		}
+		s.mu.Unlock()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "OK %d\n", len(res.Rows)+1)
+		fmt.Fprintln(w, strings.Join(res.Columns, "|"))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Fprintln(w, strings.Join(parts, "|"))
+		}
+	case "PROGRAM":
+		s.mu.Lock()
+		r, err := s.lookupLocked(strings.TrimSpace(rest))
+		s.mu.Unlock()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
+			return false
+		}
+		prog := r.toaster.Compiled().Program.String()
+		lines := strings.Split(strings.TrimRight(prog, "\n"), "\n")
+		fmt.Fprintf(w, "OK %d\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	case "STATS":
+		s.mu.Lock()
+		entries := 0
+		for _, name := range s.order {
+			entries += s.queries[name].toaster.MemEntries()
+		}
+		fmt.Fprintf(w, "OK %d %d\n", s.events, entries)
+		s.mu.Unlock()
+	case "QUIT":
+		fmt.Fprintln(w, "OK")
+		return true
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+	return false
+}
+
+// parseTuple converts '|'-separated literals per the relation's schema.
+func (s *Server) parseTuple(rel, valstr string) (types.Tuple, error) {
+	r, ok := s.cat.Relation(rel)
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %q", rel)
+	}
+	if valstr == "" {
+		return nil, fmt.Errorf("missing values for %s", rel)
+	}
+	parts := strings.Split(valstr, "|")
+	if len(parts) != r.Arity() {
+		return nil, fmt.Errorf("%s expects %d values, got %d", rel, r.Arity(), len(parts))
+	}
+	out := make(types.Tuple, len(parts))
+	for i, p := range parts {
+		v, err := ParseValue(r.Columns[i].Type, p)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", r.Columns[i].Name, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseValue parses one literal of the given kind.
+func ParseValue(kind types.Kind, s string) (types.Value, error) {
+	switch kind {
+	case types.KindInt:
+		n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewInt(n), nil
+	case types.KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewFloat(f), nil
+	case types.KindString:
+		return types.NewString(s), nil
+	case types.KindBool:
+		b, err := strconv.ParseBool(strings.TrimSpace(s))
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(b), nil
+	}
+	return types.Null, fmt.Errorf("unsupported kind %s", kind)
+}
+
+// Client is a minimal protocol client for tests, tools, and examples.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(line string) (string, []string, error) {
+	fmt.Fprintln(c.w, line)
+	if err := c.w.Flush(); err != nil {
+		return "", nil, err
+	}
+	if !c.r.Scan() {
+		return "", nil, fmt.Errorf("server closed connection")
+	}
+	head := c.r.Text()
+	if strings.HasPrefix(head, "ERR") {
+		return "", nil, fmt.Errorf("%s", strings.TrimPrefix(head, "ERR "))
+	}
+	var body []string
+	if rest := strings.TrimPrefix(head, "OK"); strings.TrimSpace(rest) != "" {
+		if n, err := strconv.Atoi(strings.Fields(rest)[0]); err == nil && strings.HasPrefix(head, "OK ") && lineCountCommands(line) {
+			for i := 0; i < n; i++ {
+				if !c.r.Scan() {
+					return "", nil, fmt.Errorf("truncated response")
+				}
+				body = append(body, c.r.Text())
+			}
+		}
+	}
+	return head, body, nil
+}
+
+func lineCountCommands(line string) bool {
+	cmd, _, _ := strings.Cut(strings.ToUpper(strings.TrimSpace(line)), " ")
+	return cmd == "RESULT" || cmd == "PROGRAM" || cmd == "QUERIES"
+}
+
+// Insert sends an insert; values are rendered per Value.String.
+func (c *Client) Insert(rel string, vals ...types.Value) error {
+	return c.sendDelta("INSERT", rel, vals)
+}
+
+// Delete sends a delete.
+func (c *Client) Delete(rel string, vals ...types.Value) error {
+	return c.sendDelta("DELETE", rel, vals)
+}
+
+func (c *Client) sendDelta(cmd, rel string, vals []types.Value) error {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	_, _, err := c.roundTrip(fmt.Sprintf("%s %s %s", cmd, rel, strings.Join(parts, "|")))
+	return err
+}
+
+// Register compiles another standing query on the server.
+func (c *Client) Register(name, sql string) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("REGISTER %s %s", name, strings.Join(strings.Fields(sql), " ")))
+	return err
+}
+
+// Queries lists registered queries as "name sql" lines.
+func (c *Client) Queries() ([]string, error) {
+	_, body, err := c.roundTrip("QUERIES")
+	return body, err
+}
+
+// Result fetches the first registered query's current answer.
+func (c *Client) Result() (columns []string, rows [][]string, err error) {
+	return c.ResultOf("")
+}
+
+// ResultOf fetches a named query's current answer as header + rows of
+// '|'-joined text.
+func (c *Client) ResultOf(name string) (columns []string, rows [][]string, err error) {
+	cmd := "RESULT"
+	if name != "" {
+		cmd += " " + name
+	}
+	_, body, err := c.roundTrip(cmd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(body) == 0 {
+		return nil, nil, fmt.Errorf("empty result")
+	}
+	columns = strings.Split(body[0], "|")
+	for _, l := range body[1:] {
+		rows = append(rows, strings.Split(l, "|"))
+	}
+	return columns, rows, nil
+}
+
+// Stats fetches (events processed, map entries).
+func (c *Client) Stats() (events, entries int, err error) {
+	head, _, err := c.roundTrip("STATS")
+	if err != nil {
+		return 0, 0, err
+	}
+	_, err = fmt.Sscanf(head, "OK %d %d", &events, &entries)
+	return events, entries, err
+}
+
+// Program fetches the compiled trigger program text.
+func (c *Client) Program() (string, error) {
+	_, body, err := c.roundTrip("PROGRAM")
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(body, "\n"), nil
+}
+
+// Quit sends QUIT.
+func (c *Client) Quit() error {
+	_, _, err := c.roundTrip("QUIT")
+	return err
+}

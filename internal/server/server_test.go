@@ -1,0 +1,213 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+func startServer(t *testing.T, sql string) (*Server, *Client) {
+	t.Helper()
+	cat := schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("sales", "region:string", "amount:float"),
+	)
+	s, err := New(sql, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestServerInsertAndResult(t *testing.T) {
+	_, c := startServer(t, "select B, sum(A) from R group by B")
+	if err := c.Insert("R", types.NewInt(5), types.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("R", types.NewInt(3), types.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("R", types.NewInt(5), types.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	cols, rows, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || len(rows) != 1 {
+		t.Fatalf("cols=%v rows=%v", cols, rows)
+	}
+	if rows[0][0] != "1" || rows[0][1] != "3" {
+		t.Errorf("row = %v", rows[0])
+	}
+}
+
+func TestServerStringValues(t *testing.T) {
+	_, c := startServer(t, "select region, sum(amount) from sales group by region")
+	if err := c.Insert("sales", types.NewString("new york"), types.NewFloat(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "new york" || rows[0][1] != "2.5" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestServerStatsAndProgram(t *testing.T) {
+	_, c := startServer(t, "select sum(A) from R")
+	if err := c.Insert("R", types.NewInt(1), types.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	events, entries, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 1 || entries == 0 {
+		t.Errorf("stats = %d %d", events, entries)
+	}
+	prog, err := c.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog, "on +R") {
+		t.Errorf("program = %q", prog)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, c := startServer(t, "select sum(A) from R")
+	if err := c.Insert("Nope", types.NewInt(1)); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := c.Insert("R", types.NewInt(1)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// Malformed literal.
+	if _, _, err := c.roundTrip("INSERT R x|1"); err == nil {
+		t.Error("malformed int accepted")
+	}
+	if _, _, err := c.roundTrip("FROBNICATE"); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestServerQuit(t *testing.T) {
+	_, c := startServer(t, "select sum(A) from R")
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	s, _ := startServer(t, "select sum(A) from R")
+	addr := s.ln.Addr().String()
+	const clients, per = 4, 50
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < per; j++ {
+				if err := c.Insert("R", types.NewInt(1), types.NewInt(0)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, rows, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "200" {
+		t.Errorf("concurrent total = %v, want 200", rows)
+	}
+}
+
+func TestServerRegisterMultipleQueries(t *testing.T) {
+	_, c := startServer(t, "select sum(A) from R")
+	if err := c.Register("counts", "select B, count(*) from R group by B"); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate names rejected; broken SQL rejected.
+	if err := c.Register("counts", "select sum(A) from R"); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := c.Register("bad", "select nope from R"); err == nil {
+		t.Error("broken SQL accepted")
+	}
+	if err := c.Insert("R", types.NewInt(5), types.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("R", types.NewInt(3), types.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Both views see the same deltas.
+	_, rows, err := c.ResultOf("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "8" {
+		t.Errorf("main rows = %v", rows)
+	}
+	_, rows, err = c.ResultOf("counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1] != "2" {
+		t.Errorf("counts rows = %v", rows)
+	}
+	qs, err := c.Queries()
+	if err != nil || len(qs) != 2 {
+		t.Errorf("queries = %v, %v", qs, err)
+	}
+	if _, _, err := c.ResultOf("ghost"); err == nil {
+		t.Error("unknown query name accepted")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	if v, err := ParseValue(types.KindInt, " 42 "); err != nil || v.Int() != 42 {
+		t.Errorf("int: %v %v", v, err)
+	}
+	if v, err := ParseValue(types.KindFloat, "2.5"); err != nil || v.Float() != 2.5 {
+		t.Errorf("float: %v %v", v, err)
+	}
+	if v, err := ParseValue(types.KindString, "a b"); err != nil || v.Str() != "a b" {
+		t.Errorf("string: %v %v", v, err)
+	}
+	if v, err := ParseValue(types.KindBool, "true"); err != nil || !v.Bool() {
+		t.Errorf("bool: %v %v", v, err)
+	}
+	if _, err := ParseValue(types.KindInt, "nope"); err == nil {
+		t.Error("bad int accepted")
+	}
+}

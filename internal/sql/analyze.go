@@ -1,0 +1,354 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+// Analyzed is a semantically-checked SELECT with its resolved catalog.
+type Analyzed struct {
+	Stmt    *SelectStmt
+	Catalog *schema.Catalog
+	// Relations holds, per FROM entry, the resolved base relation.
+	Relations []*schema.Relation
+	// AggItems marks which select items are aggregate expressions (vs
+	// group-by column projections).
+	AggItems []bool
+}
+
+// Analyze resolves names in stmt against the catalog and type-checks it.
+// On success every ColumnRef in the tree has its resolution fields filled.
+func Analyze(stmt *SelectStmt, cat *schema.Catalog) (*Analyzed, error) {
+	a := &analyzer{cat: cat}
+	if err := a.selectStmt(stmt); err != nil {
+		return nil, err
+	}
+	res := &Analyzed{Stmt: stmt, Catalog: cat}
+	for _, t := range stmt.From {
+		rel, _ := cat.Relation(t.Name)
+		res.Relations = append(res.Relations, rel)
+	}
+	for _, it := range stmt.Items {
+		res.AggItems = append(res.AggItems, containsAggregate(it.Expr))
+	}
+	return res, nil
+}
+
+// scope is one level of FROM bindings; inner subqueries see outer scopes.
+type scope struct {
+	stmt *SelectStmt
+	rels []*schema.Relation
+}
+
+type analyzer struct {
+	cat    *schema.Catalog
+	scopes []*scope
+}
+
+func (a *analyzer) selectStmt(stmt *SelectStmt) error {
+	if len(stmt.From) == 0 {
+		return fmt.Errorf("sql: query has no FROM clause")
+	}
+	sc := &scope{stmt: stmt}
+	seen := map[string]bool{}
+	for _, t := range stmt.From {
+		rel, ok := a.cat.Relation(t.Name)
+		if !ok {
+			return fmt.Errorf("sql: unknown relation %q", t.Name)
+		}
+		binding := strings.ToLower(t.Binding())
+		if seen[binding] {
+			return fmt.Errorf("sql: duplicate table binding %q", t.Binding())
+		}
+		seen[binding] = true
+		sc.rels = append(sc.rels, rel)
+	}
+	a.scopes = append(a.scopes, sc)
+	defer func() { a.scopes = a.scopes[:len(a.scopes)-1] }()
+
+	for _, g := range stmt.GroupBy {
+		if err := a.resolveColumn(g); err != nil {
+			return err
+		}
+		if g.Outer > 0 {
+			return fmt.Errorf("sql: GROUP BY column %s must belong to this query's FROM", g)
+		}
+	}
+	for i := range stmt.Items {
+		it := &stmt.Items[i]
+		if err := a.expr(it.Expr, true); err != nil {
+			return err
+		}
+		switch {
+		case containsAggregate(it.Expr):
+			if err := checkNoBareColumns(it.Expr, stmt); err != nil {
+				return err
+			}
+		case !containsColumn(it.Expr):
+			// Pure constant item: always valid.
+		default:
+			// Non-aggregate item with columns must be a group-by column.
+			col, ok := it.Expr.(*ColumnRef)
+			if !ok || !a.inGroupBy(stmt, col) {
+				return fmt.Errorf("sql: select item %s is neither aggregated nor a GROUP BY column", it.Expr)
+			}
+		}
+	}
+	if stmt.Where != nil {
+		if err := a.expr(stmt.Where, false); err != nil {
+			return err
+		}
+		if containsAggregate(stmt.Where) {
+			return fmt.Errorf("sql: aggregates in WHERE must appear inside a subquery")
+		}
+		if k := a.typeOf(stmt.Where); k != types.KindBool {
+			return fmt.Errorf("sql: WHERE clause has type %s, want bool", k)
+		}
+	}
+	if stmt.Having != nil {
+		// HAVING filters groups: aggregates allowed, bare columns must be
+		// grouped, like select items.
+		if err := a.expr(stmt.Having, true); err != nil {
+			return err
+		}
+		if err := checkNoBareColumns(stmt.Having, stmt); err != nil {
+			return err
+		}
+		if k := a.typeOf(stmt.Having); k != types.KindBool {
+			return fmt.Errorf("sql: HAVING clause has type %s, want bool", k)
+		}
+	}
+	return nil
+}
+
+func (a *analyzer) inGroupBy(stmt *SelectStmt, col *ColumnRef) bool {
+	for _, g := range stmt.GroupBy {
+		if g.TableIdx == col.TableIdx && g.ColIdx == col.ColIdx && col.Outer == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNoBareColumns rejects column refs of the current scope outside
+// aggregate arguments unless they are group-by columns.
+func checkNoBareColumns(e Expr, stmt *SelectStmt) error {
+	switch e := e.(type) {
+	case *ColumnRef:
+		if e.Outer > 0 {
+			return nil
+		}
+		for _, g := range stmt.GroupBy {
+			if g.TableIdx == e.TableIdx && g.ColIdx == e.ColIdx {
+				return nil
+			}
+		}
+		return fmt.Errorf("sql: column %s used outside an aggregate without GROUP BY", e)
+	case *BinaryExpr:
+		if err := checkNoBareColumns(e.L, stmt); err != nil {
+			return err
+		}
+		return checkNoBareColumns(e.R, stmt)
+	case *UnaryExpr:
+		return checkNoBareColumns(e.X, stmt)
+	case *AggExpr, *SubqueryExpr, *NumberLit, *StringLit, *BoolLit:
+		return nil
+	}
+	return nil
+}
+
+func (a *analyzer) expr(e Expr, allowAgg bool) error {
+	switch e := e.(type) {
+	case *ColumnRef:
+		return a.resolveColumn(e)
+	case *NumberLit, *StringLit, *BoolLit:
+		return nil
+	case *BinaryExpr:
+		if err := a.expr(e.L, allowAgg); err != nil {
+			return err
+		}
+		if err := a.expr(e.R, allowAgg); err != nil {
+			return err
+		}
+		return a.checkBinaryTypes(e)
+	case *UnaryExpr:
+		if err := a.expr(e.X, allowAgg); err != nil {
+			return err
+		}
+		k := a.typeOf(e.X)
+		if e.Op == OpNeg && !k.Numeric() {
+			return fmt.Errorf("sql: cannot negate %s value %s", k, e.X)
+		}
+		if e.Op == OpNot && k != types.KindBool {
+			return fmt.Errorf("sql: NOT applied to %s value %s", k, e.X)
+		}
+		return nil
+	case *AggExpr:
+		if !allowAgg {
+			return fmt.Errorf("sql: aggregate %s not allowed here", e)
+		}
+		if e.Star {
+			return nil
+		}
+		if containsAggregate(e.Arg) {
+			return fmt.Errorf("sql: nested aggregate in %s", e)
+		}
+		if err := a.expr(e.Arg, false); err != nil {
+			return err
+		}
+		if k := a.typeOf(e.Arg); !k.Numeric() && e.Func != AggMin && e.Func != AggMax && e.Func != AggCount {
+			return fmt.Errorf("sql: %s over non-numeric %s argument %s", e.Func, k, e.Arg)
+		}
+		return nil
+	case *SubqueryExpr:
+		if err := a.selectStmt(e.Query); err != nil {
+			return err
+		}
+		if len(e.Query.Items) != 1 || len(e.Query.GroupBy) != 0 || !containsAggregate(e.Query.Items[0].Expr) {
+			return fmt.Errorf("sql: subquery must be a single-aggregate scalar query: %s", e.Query)
+		}
+		return nil
+	}
+	return fmt.Errorf("sql: unknown expression node %T", e)
+}
+
+func (a *analyzer) checkBinaryTypes(e *BinaryExpr) error {
+	lk, rk := a.typeOf(e.L), a.typeOf(e.R)
+	switch {
+	case e.Op.IsArith():
+		if !lk.Numeric() || !rk.Numeric() {
+			return fmt.Errorf("sql: arithmetic %s on %s and %s", e.Op, lk, rk)
+		}
+	case e.Op.IsComparison():
+		comparable := lk == rk || (lk.Numeric() && rk.Numeric())
+		if !comparable {
+			return fmt.Errorf("sql: cannot compare %s with %s in %s", lk, rk, e)
+		}
+	case e.Op.IsBool():
+		if lk != types.KindBool || rk != types.KindBool {
+			return fmt.Errorf("sql: %s requires boolean operands in %s", e.Op, e)
+		}
+	}
+	return nil
+}
+
+// resolveColumn binds a column reference to a FROM entry, searching the
+// current scope first, then enclosing scopes (correlated references).
+func (a *analyzer) resolveColumn(c *ColumnRef) error {
+	for depth := len(a.scopes) - 1; depth >= 0; depth-- {
+		sc := a.scopes[depth]
+		found := -1
+		for i, t := range sc.stmt.From {
+			if c.Table != "" && !strings.EqualFold(t.Binding(), c.Table) {
+				continue
+			}
+			if idx := sc.rels[i].ColumnIndex(c.Column); idx >= 0 {
+				if found >= 0 {
+					return fmt.Errorf("sql: ambiguous column %s", c)
+				}
+				found = i
+				c.TableIdx = i
+				c.ColIdx = idx
+				c.Type = sc.rels[i].Columns[idx].Type
+			}
+		}
+		if found >= 0 {
+			c.Outer = len(a.scopes) - 1 - depth
+			return nil
+		}
+		if c.Table != "" {
+			// A qualifier that matches a binding in this scope but no such
+			// column is an error rather than an outer reference.
+			for _, t := range sc.stmt.From {
+				if strings.EqualFold(t.Binding(), c.Table) {
+					return fmt.Errorf("sql: no column %s in %s", c.Column, t.Binding())
+				}
+			}
+		}
+	}
+	return fmt.Errorf("sql: unresolved column %s", c)
+}
+
+// typeOf computes the result kind of a resolved expression.
+func (a *analyzer) typeOf(e Expr) types.Kind { return TypeOf(e) }
+
+// TypeOf returns the result kind of a resolved (analyzed) expression.
+func TypeOf(e Expr) types.Kind {
+	switch e := e.(type) {
+	case *ColumnRef:
+		return e.Type
+	case *NumberLit:
+		return e.Value.Kind()
+	case *StringLit:
+		return types.KindString
+	case *BoolLit:
+		return types.KindBool
+	case *UnaryExpr:
+		if e.Op == OpNot {
+			return types.KindBool
+		}
+		return TypeOf(e.X)
+	case *BinaryExpr:
+		switch {
+		case e.Op.IsComparison(), e.Op.IsBool():
+			return types.KindBool
+		case e.Op == OpDiv:
+			if TypeOf(e.L) == types.KindInt && TypeOf(e.R) == types.KindInt {
+				return types.KindInt
+			}
+			return types.KindFloat
+		default:
+			l, r := TypeOf(e.L), TypeOf(e.R)
+			if l == types.KindInt && r == types.KindInt {
+				return types.KindInt
+			}
+			return types.KindFloat
+		}
+	case *AggExpr:
+		switch e.Func {
+		case AggCount:
+			return types.KindInt
+		case AggAvg:
+			return types.KindFloat
+		case AggMin, AggMax:
+			return TypeOf(e.Arg)
+		default:
+			return TypeOf(e.Arg)
+		}
+	case *SubqueryExpr:
+		return TypeOf(e.Query.Items[0].Expr)
+	}
+	return types.KindNull
+}
+
+// containsColumn reports whether e references any column (of any scope).
+func containsColumn(e Expr) bool {
+	switch e := e.(type) {
+	case *ColumnRef:
+		return true
+	case *BinaryExpr:
+		return containsColumn(e.L) || containsColumn(e.R)
+	case *UnaryExpr:
+		return containsColumn(e.X)
+	case *AggExpr:
+		return e.Star || containsColumn(e.Arg)
+	default:
+		return false
+	}
+}
+
+func containsAggregate(e Expr) bool {
+	switch e := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return containsAggregate(e.L) || containsAggregate(e.R)
+	case *UnaryExpr:
+		return containsAggregate(e.X)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,176 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+func testCatalog() *schema.Catalog {
+	return schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("S", "B:int", "C:int"),
+		schema.NewRelation("T", "C:int", "D:int"),
+		schema.NewRelation("bids", "price:float", "volume:float"),
+		schema.NewRelation("orders", "ck:int", "price:float", "nation:string"),
+	)
+}
+
+func analyze(t *testing.T, src string) *Analyzed {
+	t.Helper()
+	stmt := mustParse(t, src)
+	a, err := Analyze(stmt, testCatalog())
+	if err != nil {
+		t.Fatalf("Analyze(%q): %v", src, err)
+	}
+	return a
+}
+
+func TestAnalyzePaperQuery(t *testing.T) {
+	a := analyze(t, "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C")
+	if len(a.Relations) != 3 || a.Relations[0].Name != "R" {
+		t.Fatalf("relations = %v", a.Relations)
+	}
+	// Check the sum argument columns resolved to the right tables.
+	mul := a.Stmt.Items[0].Expr.(*AggExpr).Arg.(*BinaryExpr)
+	ca, cd := mul.L.(*ColumnRef), mul.R.(*ColumnRef)
+	if ca.TableIdx != 0 || ca.ColIdx != 0 {
+		t.Errorf("A resolved to table %d col %d", ca.TableIdx, ca.ColIdx)
+	}
+	if cd.TableIdx != 2 || cd.ColIdx != 1 {
+		t.Errorf("D resolved to table %d col %d", cd.TableIdx, cd.ColIdx)
+	}
+	if !a.AggItems[0] {
+		t.Error("item not marked aggregate")
+	}
+}
+
+func TestAnalyzeAmbiguity(t *testing.T) {
+	// B exists in both R and S; unqualified use is ambiguous.
+	stmt := mustParse(t, "select sum(B) from R, S")
+	if _, err := Analyze(stmt, testCatalog()); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous column not detected: %v", err)
+	}
+	// Qualified is fine.
+	analyze(t, "select sum(R.B) from R, S")
+}
+
+func TestAnalyzeSelfJoinAliases(t *testing.T) {
+	a := analyze(t, "select sum(x.A * y.A) from R x, R y where x.B = y.B")
+	mul := a.Stmt.Items[0].Expr.(*AggExpr).Arg.(*BinaryExpr)
+	if mul.L.(*ColumnRef).TableIdx != 0 || mul.R.(*ColumnRef).TableIdx != 1 {
+		t.Error("self-join aliases resolved to the same table")
+	}
+	stmt := mustParse(t, "select sum(A) from R x, R x")
+	if _, err := Analyze(stmt, testCatalog()); err == nil {
+		t.Error("duplicate binding accepted")
+	}
+}
+
+func TestAnalyzeGroupBy(t *testing.T) {
+	a := analyze(t, "select nation, sum(price) from orders group by nation")
+	if a.AggItems[0] || !a.AggItems[1] {
+		t.Errorf("AggItems = %v", a.AggItems)
+	}
+	// Non-aggregated, non-grouped column must be rejected.
+	stmt := mustParse(t, "select price, sum(price) from orders group by nation")
+	if _, err := Analyze(stmt, testCatalog()); err == nil {
+		t.Error("bare non-grouped column accepted")
+	}
+	// Bare column inside an aggregate item expression must be rejected too.
+	stmt = mustParse(t, "select price + sum(price) from orders")
+	if _, err := Analyze(stmt, testCatalog()); err == nil {
+		t.Error("bare column mixed into aggregate item accepted")
+	}
+	// Grouped column mixed into an aggregate expression is fine.
+	analyze(t, "select ck + sum(price) from orders group by ck")
+}
+
+func TestAnalyzeTypeChecking(t *testing.T) {
+	bad := []string{
+		"select sum(nation) from orders",            // sum over string
+		"select sum(price) from orders where price", // non-bool where
+		"select sum(price) from orders where nation = 1",
+		"select sum(price) from orders where nation + 1 > 2",
+		"select sum(price) from orders where not price",
+		"select sum(-nation) from orders",
+		"select sum(price) from orders where sum(price) > 1", // aggregate in WHERE
+	}
+	for _, src := range bad {
+		stmt := mustParse(t, src)
+		if _, err := Analyze(stmt, testCatalog()); err == nil {
+			t.Errorf("Analyze(%q) should fail", src)
+		}
+	}
+	// min/max over strings are fine.
+	analyze(t, "select min(nation), max(nation) from orders")
+	// count over anything is fine.
+	analyze(t, "select count(nation) from orders")
+}
+
+func TestAnalyzeUnknowns(t *testing.T) {
+	for _, src := range []string{
+		"select sum(a) from Nope",
+		"select sum(nope) from R",
+		"select sum(R.nope) from R",
+		"select sum(Z.A) from R",
+	} {
+		stmt := mustParse(t, src)
+		if _, err := Analyze(stmt, testCatalog()); err == nil {
+			t.Errorf("Analyze(%q) should fail", src)
+		}
+	}
+}
+
+func TestAnalyzeSubqueries(t *testing.T) {
+	// Uncorrelated scalar subquery.
+	a := analyze(t, "select sum(price) from orders where price > (select sum(volume) from bids)")
+	cmp := a.Stmt.Where.(*BinaryExpr)
+	if _, ok := cmp.R.(*SubqueryExpr); !ok {
+		t.Fatal("subquery lost")
+	}
+	// Correlated subquery: b2.price > b1.price resolves b1 to the outer scope.
+	a = analyze(t, `select sum(b1.price * b1.volume) from bids b1
+		where 0.25 > (select sum(b2.volume) from bids b2 where b2.price > b1.price)`)
+	sub := a.Stmt.Where.(*BinaryExpr).R.(*SubqueryExpr)
+	inner := sub.Query.Where.(*BinaryExpr)
+	outerRef := inner.R.(*ColumnRef)
+	if outerRef.Outer != 1 {
+		t.Errorf("correlated ref Outer = %d, want 1", outerRef.Outer)
+	}
+	if inner.L.(*ColumnRef).Outer != 0 {
+		t.Error("inner ref marked outer")
+	}
+	// Subquery must be scalar aggregate.
+	stmt := mustParse(t, "select sum(price) from orders where price > (select price, sum(price) from orders group by price)")
+	if _, err := Analyze(stmt, testCatalog()); err == nil {
+		t.Error("non-scalar subquery accepted")
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	a := analyze(t, "select count(*), avg(price), min(nation), sum(ck), sum(price) from orders")
+	wants := []types.Kind{types.KindInt, types.KindFloat, types.KindString, types.KindInt, types.KindFloat}
+	for i, w := range wants {
+		if got := TypeOf(a.Stmt.Items[i].Expr); got != w {
+			t.Errorf("item %d type = %v, want %v", i, got, w)
+		}
+	}
+	// Division types.
+	a = analyze(t, "select sum(ck/ck), sum(price/ck) from orders")
+	if TypeOf(a.Stmt.Items[0].Expr) != types.KindInt {
+		t.Error("int/int should be int")
+	}
+	if TypeOf(a.Stmt.Items[1].Expr) != types.KindFloat {
+		t.Error("float/int should be float")
+	}
+}
+
+func TestAnalyzeNestedAggregateRejected(t *testing.T) {
+	stmt := mustParse(t, "select sum(sum(a)) from R")
+	if _, err := Analyze(stmt, testCatalog()); err == nil {
+		t.Error("nested aggregate accepted")
+	}
+}

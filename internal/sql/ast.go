@@ -1,0 +1,280 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"dbtoaster/internal/types"
+)
+
+// SelectStmt is a parsed SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr // nil when absent
+	GroupBy []*ColumnRef
+	Having  Expr // nil when absent; only valid with GROUP BY
+}
+
+// SelectItem is one projection in the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // "" when no AS clause
+}
+
+// TableRef names a base relation in FROM, optionally aliased.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name during analysis
+}
+
+// Binding returns the name the table is referred to by in the query.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// Expr is a SQL expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef is a (possibly qualified) column reference. The analyzer fills
+// in the resolution fields.
+type ColumnRef struct {
+	Table  string // qualifier as written, "" when unqualified
+	Column string
+
+	// Resolved by Analyze:
+	TableIdx int        // index into the owning query's FROM list
+	ColIdx   int        // column position within the relation
+	Type     types.Kind // column type
+	Outer    int        // scope distance: 0 = this query, 1 = parent, ...
+}
+
+// NumberLit is an integer or float literal.
+type NumberLit struct{ Value types.Value }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Value bool }
+
+// BinaryExpr is an arithmetic, comparison, or boolean operation.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnaryExpr is negation (-x) or NOT x.
+type UnaryExpr struct {
+	Op UnOp
+	X  Expr
+}
+
+// AggExpr is an aggregate call: SUM/COUNT/AVG/MIN/MAX.
+type AggExpr struct {
+	Func AggFunc
+	Arg  Expr // nil for COUNT(*)
+	Star bool
+}
+
+// SubqueryExpr is a scalar subquery (must be a single-aggregate query).
+type SubqueryExpr struct{ Query *SelectStmt }
+
+func (*ColumnRef) exprNode()    {}
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*BoolLit) exprNode()      {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*AggExpr) exprNode()      {}
+func (*SubqueryExpr) exprNode() {}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators, grouped: arithmetic, comparison, boolean.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNeq
+	OpLt
+	OpLte
+	OpGt
+	OpGte
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpEq: "=", OpNeq: "<>", OpLt: "<", OpLte: "<=", OpGt: ">", OpGte: ">=",
+	OpAnd: "AND", OpOr: "OR",
+}
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether op compares two scalars to a boolean.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGte }
+
+// IsArith reports whether op is +, -, *, /.
+func (op BinOp) IsArith() bool { return op <= OpDiv }
+
+// IsBool reports whether op is AND/OR.
+func (op BinOp) IsBool() bool { return op == OpAnd || op == OpOr }
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota
+	OpNot
+)
+
+// String returns the SQL spelling of the operator.
+func (op UnOp) String() string {
+	if op == OpNeg {
+		return "-"
+	}
+	return "NOT"
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = [...]string{AggSum: "SUM", AggCount: "COUNT", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX"}
+
+// String returns the SQL spelling of the aggregate.
+func (f AggFunc) String() string { return aggNames[f] }
+
+// --- Printing ---
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+func (n *NumberLit) String() string { return n.Value.String() }
+func (s *StringLit) String() string { return "'" + strings.ReplaceAll(s.Value, "'", "''") + "'" }
+
+func (b *BoolLit) String() string {
+	if b.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func (u *UnaryExpr) String() string {
+	if u.Op == OpNot {
+		return fmt.Sprintf("NOT (%s)", u.X)
+	}
+	return fmt.Sprintf("-(%s)", u.X)
+}
+
+func (a *AggExpr) String() string {
+	if a.Star {
+		return a.Func.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg)
+}
+
+func (s *SubqueryExpr) String() string { return "(" + s.Query.String() + ")" }
+
+// String renders the statement back to SQL (normalized spacing).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != "" && t.Alias != t.Name {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	return b.String()
+}
+
+// WalkExprs calls fn for every expression node in the statement, including
+// select items, WHERE, GROUP BY, and (not recursing into) subqueries. fn
+// returning false stops descent into that node's children.
+func (s *SelectStmt) WalkExprs(fn func(Expr) bool) {
+	for _, it := range s.Items {
+		walkExpr(it.Expr, fn)
+	}
+	if s.Where != nil {
+		walkExpr(s.Where, fn)
+	}
+	for _, g := range s.GroupBy {
+		walkExpr(g, fn)
+	}
+	if s.Having != nil {
+		walkExpr(s.Having, fn)
+	}
+}
+
+func walkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *BinaryExpr:
+		walkExpr(e.L, fn)
+		walkExpr(e.R, fn)
+	case *UnaryExpr:
+		walkExpr(e.X, fn)
+	case *AggExpr:
+		walkExpr(e.Arg, fn)
+	}
+}

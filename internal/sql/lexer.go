@@ -1,0 +1,194 @@
+package sql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer turns SQL source text into a token stream.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Lex tokenizes the whole input. It fails on unterminated strings and
+// characters outside the supported alphabet.
+func Lex(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(start), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start), nil
+	case c == '.':
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber(start), nil
+		}
+		l.pos++
+		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	case c == '\'':
+		return l.lexString(start)
+	}
+	l.pos++
+	single := func(k TokenKind) Token { return Token{Kind: k, Text: string(c), Pos: start} }
+	switch c {
+	case ',':
+		return single(TokComma), nil
+	case '(':
+		return single(TokLParen), nil
+	case ')':
+		return single(TokRParen), nil
+	case '*':
+		return single(TokStar), nil
+	case '+':
+		return single(TokPlus), nil
+	case '-':
+		return single(TokMinus), nil
+	case '/':
+		return single(TokSlash), nil
+	case ';':
+		return single(TokSemi), nil
+	case '=':
+		return single(TokEq), nil
+	case '!':
+		if l.peek() == '=' {
+			l.pos++
+			return Token{Kind: TokNeq, Text: "!=", Pos: start}, nil
+		}
+		return Token{}, errf(start, "unexpected character %q", c)
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.pos++
+			return Token{Kind: TokLte, Text: "<=", Pos: start}, nil
+		case '>':
+			l.pos++
+			return Token{Kind: TokNeq, Text: "<>", Pos: start}, nil
+		}
+		return Token{Kind: TokLt, Text: "<", Pos: start}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.pos++
+			return Token{Kind: TokGte, Text: ">=", Pos: start}, nil
+		}
+		return Token{Kind: TokGt, Text: ">", Pos: start}, nil
+	}
+	return Token{}, errf(start, "unexpected character %q", c)
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos < len(l.src) {
+		return l.src[l.pos]
+	}
+	return 0
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// line comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) lexIdent(start int) Token {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+func (l *Lexer) lexNumber(start int) Token {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			if isDigit(next) || ((next == '+' || next == '-') && l.pos+2 < len(l.src) && isDigit(l.src[l.pos+2])) {
+				l.pos += 2
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			}
+		}
+		break
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+}
+
+func (l *Lexer) lexString(start int) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, errf(start, "unterminated string literal")
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || isDigit(c) || unicode.IsLetter(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,123 @@
+package sql
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("select sum(a*d) from R, S where r.b = s.b;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokKeyword, TokKeyword, TokLParen, TokIdent, TokStar, TokIdent,
+		TokRParen, TokKeyword, TokIdent, TokComma, TokIdent, TokKeyword,
+		TokIdent, TokDot, TokIdent, TokEq, TokIdent, TokDot, TokIdent,
+		TokSemi, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[0].Text != "SELECT" {
+		t.Errorf("keyword not upper-cased: %q", toks[0].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("<= >= <> != < > = + - / *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokLte, TokGte, TokNeq, TokNeq, TokLt, TokGt, TokEq,
+		TokPlus, TokMinus, TokSlash, TokStar, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"3.14":   "3.14",
+		"1e9":    "1e9",
+		"2.5E-3": "2.5E-3",
+		"7e+2":   "7e+2",
+		".5":     ".5",
+		"10.":    "10.",
+		"1.2.3":  "1.2", // second dot terminates the number
+		"3units": "3",   // ident chars terminate
+		"1e":     "1",   // bare exponent marker is not consumed
+		"0x10":   "0",   // no hex support: x starts an identifier
+		"5-3":    "5",
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", src, err)
+		}
+		if toks[0].Kind != TokNumber || toks[0].Text != want {
+			t.Errorf("Lex(%q) first token = %v %q, want number %q", src, toks[0].Kind, toks[0].Text, want)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex("'hello' 'it''s' ''")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "hello" || toks[1].Text != "it's" || toks[2].Text != "" {
+		t.Errorf("string texts = %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string not rejected")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("select -- comment to end of line\n 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Kind != TokNumber {
+		t.Errorf("comment not skipped: %v", toks)
+	}
+	// A lone minus is still an operator.
+	toks, err = Lex("a - b")
+	if err != nil || len(toks) != 4 || toks[1].Kind != TokMinus {
+		t.Errorf("minus mis-lexed: %v %v", toks, err)
+	}
+}
+
+func TestLexRejectsGarbage(t *testing.T) {
+	for _, src := range []string{"@", "#", "a ! b"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("ab  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Errorf("positions = %d %d", toks[0].Pos, toks[1].Pos)
+	}
+}

@@ -1,0 +1,438 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"dbtoaster/internal/types"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single SELECT statement (optionally ';'-terminated).
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokSemi {
+		p.pos++
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, errf(p.cur().Pos, "unexpected %q after statement", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return errf(t.Pos, "expected %s, found %q", kw, t.Text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	t := p.cur()
+	if t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind {
+		return t, errf(t.Pos, "expected %s, found %q", kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.pos++
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.pos++
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			col, ok := e.(*ColumnRef)
+			if !ok {
+				return nil, errf(p.cur().Pos, "GROUP BY supports column references only, got %s", e)
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if p.cur().Kind != TokComma {
+				break
+			}
+			p.pos++
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		if len(stmt.GroupBy) == 0 {
+			return nil, errf(p.cur().Pos, "HAVING requires GROUP BY")
+		}
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	for _, kw := range []string{"ORDER", "LIMIT", "DISTINCT"} {
+		if p.cur().Kind == TokKeyword && p.cur().Text == kw {
+			return nil, errf(p.cur().Pos, "%s is not supported for standing queries", kw)
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	} else if p.cur().Kind == TokIdent {
+		// implicit alias: SELECT sum(x) total
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: t.Text}
+	if p.acceptKeyword("AS") {
+		a, err := p.expect(TokIdent)
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a.Text
+	} else if p.cur().Kind == TokIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr      := orExpr
+//	orExpr    := andExpr (OR andExpr)*
+//	andExpr   := notExpr (AND notExpr)*
+//	notExpr   := NOT notExpr | cmpExpr
+//	cmpExpr   := addExpr ((=|<>|<|<=|>|>=) addExpr)?
+//	addExpr   := mulExpr ((+|-) mulExpr)*
+//	mulExpr   := unary ((*|/) unary)*
+//	unary     := - unary | primary
+//	primary   := literal | aggregate | column | ( expr ) | ( SELECT ... )
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNot, X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	var op BinOp
+	switch p.cur().Kind {
+	case TokEq:
+		op = OpEq
+	case TokNeq:
+		op = OpNeq
+	case TokLt:
+		op = OpLt
+	case TokLte:
+		op = OpLte
+	case TokGt:
+		op = OpGt
+	case TokGte:
+		op = OpGte
+	default:
+		return l, nil
+	}
+	p.pos++
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case TokPlus:
+			op = OpAdd
+		case TokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.cur().Kind == TokMinus {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNeg, X: x}, nil
+	}
+	if p.cur().Kind == TokPlus {
+		p.pos++
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		return parseNumber(t)
+	case TokString:
+		p.pos++
+		return &StringLit{Value: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.pos++
+			return &BoolLit{Value: true}, nil
+		case "FALSE":
+			p.pos++
+			return &BoolLit{Value: false}, nil
+		case "SUM", "COUNT", "AVG", "MIN", "MAX":
+			return p.parseAggregate()
+		}
+		return nil, errf(t.Pos, "unexpected keyword %s in expression", t.Text)
+	case TokIdent:
+		return p.parseColumnRef()
+	case TokLParen:
+		p.pos++
+		if p.cur().Kind == TokKeyword && p.cur().Text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Query: sub}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "unexpected %q in expression", t.Text)
+}
+
+func (p *Parser) parseAggregate() (Expr, error) {
+	t := p.next()
+	var fn AggFunc
+	switch t.Text {
+	case "SUM":
+		fn = AggSum
+	case "COUNT":
+		fn = AggCount
+	case "AVG":
+		fn = AggAvg
+	case "MIN":
+		fn = AggMin
+	case "MAX":
+		fn = AggMax
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokStar {
+		p.pos++
+		if fn != AggCount {
+			return nil, errf(t.Pos, "%s(*) is not valid; only COUNT(*)", fn)
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &AggExpr{Func: fn, Star: true}, nil
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return &AggExpr{Func: fn, Arg: arg}, nil
+}
+
+func (p *Parser) parseColumnRef() (Expr, error) {
+	t := p.next()
+	ref := &ColumnRef{Column: t.Text}
+	if p.cur().Kind == TokDot {
+		p.pos++
+		c, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ref.Table = t.Text
+		ref.Column = c.Text
+	}
+	return ref, nil
+}
+
+func parseNumber(t Token) (Expr, error) {
+	if !strings.ContainsAny(t.Text, ".eE") {
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err == nil {
+			return &NumberLit{Value: types.NewInt(n)}, nil
+		}
+	}
+	f, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return nil, errf(t.Pos, "bad number %q", t.Text)
+	}
+	return &NumberLit{Value: types.NewFloat(f)}, nil
+}

@@ -1,0 +1,243 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	stmt := mustParse(t, "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C")
+	if len(stmt.Items) != 1 || len(stmt.From) != 3 {
+		t.Fatalf("shape wrong: %s", stmt)
+	}
+	agg, ok := stmt.Items[0].Expr.(*AggExpr)
+	if !ok || agg.Func != AggSum {
+		t.Fatalf("item not SUM: %v", stmt.Items[0].Expr)
+	}
+	mul, ok := agg.Arg.(*BinaryExpr)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("sum arg not product: %v", agg.Arg)
+	}
+	w, ok := stmt.Where.(*BinaryExpr)
+	if !ok || w.Op != OpAnd {
+		t.Fatalf("where not AND: %v", stmt.Where)
+	}
+}
+
+func TestParseRoundTripString(t *testing.T) {
+	srcs := []string{
+		"SELECT SUM((A * D)) FROM R, S, T WHERE ((R.B = S.B) AND (S.C = T.C))",
+		"SELECT C.nation, SUM(price) FROM orders O, customer C WHERE (O.ck = C.ck) GROUP BY C.nation",
+	}
+	for _, src := range srcs {
+		stmt := mustParse(t, src)
+		again := mustParse(t, stmt.String())
+		if stmt.String() != again.String() {
+			t.Errorf("round trip changed:\n  %s\n  %s", stmt, again)
+		}
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := mustParse(t, "select sum(x.a) as total from R as x, S y")
+	if stmt.From[0].Alias != "x" || stmt.From[1].Alias != "y" {
+		t.Errorf("aliases = %q %q", stmt.From[0].Alias, stmt.From[1].Alias)
+	}
+	if stmt.Items[0].Alias != "total" {
+		t.Errorf("item alias = %q", stmt.Items[0].Alias)
+	}
+	stmt = mustParse(t, "select sum(a) total from R")
+	if stmt.Items[0].Alias != "total" {
+		t.Errorf("implicit alias = %q", stmt.Items[0].Alias)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	stmt := mustParse(t, "select b, sum(a) from R group by b")
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].Column != "b" {
+		t.Fatalf("group by = %v", stmt.GroupBy)
+	}
+	stmt = mustParse(t, "select d.year, c.nation, sum(x) from D d, C c group by d.year, c.nation")
+	if len(stmt.GroupBy) != 2 || stmt.GroupBy[1].Table != "c" {
+		t.Fatalf("group by = %v", stmt.GroupBy)
+	}
+	if _, err := Parse("select sum(a) from R group by a+1"); err == nil {
+		t.Error("expression in GROUP BY accepted")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "select sum(a + b * c) from R")
+	add := stmt.Items[0].Expr.(*AggExpr).Arg.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	if mul, ok := add.R.(*BinaryExpr); !ok || mul.Op != OpMul {
+		t.Errorf("b*c should bind tighter: %v", add)
+	}
+
+	stmt = mustParse(t, "select sum(a) from R where a = 1 or b = 2 and c = 3")
+	or := stmt.Where.(*BinaryExpr)
+	if or.Op != OpOr {
+		t.Fatalf("top where op = %v", or.Op)
+	}
+	if and, ok := or.R.(*BinaryExpr); !ok || and.Op != OpAnd {
+		t.Errorf("AND should bind tighter than OR: %v", or)
+	}
+
+	stmt = mustParse(t, "select sum(a) from R where not a = 1 and b = 2")
+	and := stmt.Where.(*BinaryExpr)
+	if and.Op != OpAnd {
+		t.Fatalf("NOT should bind tighter than AND: %v", stmt.Where)
+	}
+	if _, ok := and.L.(*UnaryExpr); !ok {
+		t.Errorf("left of AND should be NOT: %v", and.L)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	stmt := mustParse(t, "select sum(-a) from R where -a < +b")
+	if _, ok := stmt.Items[0].Expr.(*AggExpr).Arg.(*UnaryExpr); !ok {
+		t.Error("negation not parsed")
+	}
+	cmp := stmt.Where.(*BinaryExpr)
+	if _, ok := cmp.R.(*ColumnRef); !ok {
+		t.Error("unary plus should vanish")
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt := mustParse(t, "select count(*) from R")
+	agg := stmt.Items[0].Expr.(*AggExpr)
+	if agg.Func != AggCount || !agg.Star {
+		t.Errorf("count(*) = %v", agg)
+	}
+	if _, err := Parse("select sum(*) from R"); err == nil {
+		t.Error("sum(*) accepted")
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	stmt := mustParse(t, "select sum(a) from R where b > (select sum(c) from S)")
+	cmp := stmt.Where.(*BinaryExpr)
+	sub, ok := cmp.R.(*SubqueryExpr)
+	if !ok {
+		t.Fatalf("subquery not parsed: %v", cmp.R)
+	}
+	if len(sub.Query.From) != 1 || sub.Query.From[0].Name != "S" {
+		t.Errorf("subquery from = %v", sub.Query.From)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	stmt := mustParse(t, "select sum(a) from R where s = 'x''y' and f > 1.5 and t = true and n <> 3")
+	if !strings.Contains(stmt.String(), "'x''y'") {
+		t.Errorf("string literal lost: %s", stmt)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select from R",
+		"select sum(a from R",
+		"select sum(a) R",
+		"select sum(a) from",
+		"select sum(a) from R where",
+		"select sum(a) from R group a",
+		"select sum(a) from R; extra",
+		"select sum(a) from R having sum(a) > 1",
+		"select sum(a) from R order by a",
+		"select sum(a) from R limit 1",
+		"select distinct a from R",
+		"select sum(a) from R where (select sum(b) from S",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// TestParsePrintParseFixpoint: for randomly generated query texts, parsing
+// the printed form of a parse yields the same printed form (print∘parse is
+// a fixpoint), via testing/quick-style iteration.
+func TestParsePrintParseFixpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		src := randomSQL(r)
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", src, err)
+		}
+		printed := stmt.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not parse: %q: %v", printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("not a fixpoint:\n  %s\n  %s", printed, again.String())
+		}
+	}
+}
+
+// randomSQL builds a random (syntactically valid) aggregate query.
+func randomSQL(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("select ")
+	aggs := []string{"sum(a)", "count(*)", "avg(a + b)", "min(a)", "max(2 * a)", "sum(a * b - 3)"}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(aggs[r.Intn(len(aggs))])
+	}
+	b.WriteString(" from R")
+	if r.Intn(2) == 0 {
+		b.WriteString(", S s2")
+	}
+	if r.Intn(2) == 0 {
+		b.WriteString(" where ")
+		preds := []string{"a = 1", "b <> 2.5", "a < b", "not a >= 3", "c = 'x''y'", "a = 1 or b = 2"}
+		m := 1 + r.Intn(3)
+		for i := 0; i < m; i++ {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(preds[r.Intn(len(preds))])
+		}
+	}
+	return b.String()
+}
+
+func TestParseNumberKinds(t *testing.T) {
+	stmt := mustParse(t, "select sum(a) from R where a = 2 and b = 2.5 and c = 1e3")
+	var nums []*NumberLit
+	stmt.WalkExprs(func(e Expr) bool {
+		if n, ok := e.(*NumberLit); ok {
+			nums = append(nums, n)
+		}
+		return true
+	})
+	if len(nums) != 3 {
+		t.Fatalf("found %d literals", len(nums))
+	}
+	if nums[0].Value.Kind().String() != "int" {
+		t.Errorf("2 lexed as %v", nums[0].Value.Kind())
+	}
+	if nums[1].Value.Kind().String() != "float" || nums[2].Value.Kind().String() != "float" {
+		t.Errorf("float literals mis-kinded: %v %v", nums[1].Value.Kind(), nums[2].Value.Kind())
+	}
+}

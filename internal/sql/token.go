@@ -1,0 +1,86 @@
+// Package sql implements the SQL front end: a lexer, a recursive-descent
+// parser producing an AST, and a semantic analyzer that resolves names
+// against a schema catalog and type-checks expressions.
+//
+// The supported subset is the one DBToaster compiles: SELECT lists with
+// SUM/COUNT/AVG/MIN/MAX aggregates and arithmetic, FROM with aliases,
+// WHERE with boolean combinations of comparisons, GROUP BY, and scalar
+// aggregate subqueries.
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokComma
+	TokDot
+	TokLParen
+	TokRParen
+	TokStar
+	TokPlus
+	TokMinus
+	TokSlash
+	TokEq
+	TokNeq
+	TokLt
+	TokLte
+	TokGt
+	TokGte
+	TokSemi
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokString: "string", TokKeyword: "keyword", TokComma: ",", TokDot: ".",
+	TokLParen: "(", TokRParen: ")", TokStar: "*", TokPlus: "+",
+	TokMinus: "-", TokSlash: "/", TokEq: "=", TokNeq: "<>", TokLt: "<",
+	TokLte: "<=", TokGt: ">", TokGte: ">=", TokSemi: ";",
+}
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; keywords are upper-cased
+	Pos  int
+}
+
+// Keywords recognized by the lexer (matched case-insensitively).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"CREATE": true, "TABLE": true, "STREAM": true,
+	"INT": true, "INTEGER": true, "BIGINT": true, "FLOAT": true,
+	"DOUBLE": true, "DECIMAL": true, "VARCHAR": true, "CHAR": true,
+	"TEXT": true, "BOOL": true, "BOOLEAN": true,
+	"TRUE": true, "FALSE": true, "NULL": true,
+	"HAVING": true, "DISTINCT": true, "ORDER": true, "LIMIT": true,
+}
+
+// Error is a front-end error carrying the byte offset where it occurred.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

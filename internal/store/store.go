@@ -1,0 +1,139 @@
+// Package store implements the in-memory multiset relation store used by
+// the baseline engines and as the base-data side of the correctness oracle.
+// Relations are bags: each distinct tuple carries a multiplicity, and
+// deletions decrement it (DBToaster's data model allows arbitrary inserts
+// and deletes, unlike window-based stream processors).
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+// Table is one base relation's contents.
+type Table struct {
+	rel     *schema.Relation
+	entries map[types.Key]*row
+}
+
+type row struct {
+	tuple types.Tuple
+	mult  float64
+}
+
+// NewTable creates an empty table for the relation.
+func NewTable(rel *schema.Relation) *Table {
+	return &Table{rel: rel, entries: make(map[types.Key]*row)}
+}
+
+// Relation returns the table's schema.
+func (t *Table) Relation() *schema.Relation { return t.rel }
+
+// Update adds delta (positive or negative) to the tuple's multiplicity.
+// Tuples whose multiplicity reaches zero are removed.
+func (t *Table) Update(tuple types.Tuple, delta float64) {
+	k := types.EncodeKey(tuple)
+	r, ok := t.entries[k]
+	if !ok {
+		if delta == 0 {
+			return
+		}
+		t.entries[k] = &row{tuple: tuple.Clone(), mult: delta}
+		return
+	}
+	r.mult += delta
+	if r.mult == 0 {
+		delete(t.entries, k)
+	}
+}
+
+// Scan calls f for each distinct tuple with its multiplicity.
+func (t *Table) Scan(f func(types.Tuple, float64)) {
+	for _, r := range t.entries {
+		f(r.tuple, r.mult)
+	}
+}
+
+// Len returns the number of distinct tuples.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Count returns the total multiplicity (number of logical rows).
+func (t *Table) Count() float64 {
+	var n float64
+	for _, r := range t.entries {
+		n += r.mult
+	}
+	return n
+}
+
+// Store is a set of tables keyed by relation name.
+type Store struct {
+	cat    *schema.Catalog
+	tables map[string]*Table
+}
+
+// New creates a store with one empty table per catalog relation.
+func New(cat *schema.Catalog) *Store {
+	s := &Store{cat: cat, tables: make(map[string]*Table)}
+	for _, rel := range cat.Relations() {
+		s.tables[lower(rel.Name)] = NewTable(rel)
+	}
+	return s
+}
+
+// Catalog returns the schema catalog the store was built from.
+func (s *Store) Catalog() *schema.Catalog { return s.cat }
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, bool) {
+	t, ok := s.tables[lower(name)]
+	return t, ok
+}
+
+// Insert adds one copy of tuple to the relation, validating the schema.
+func (s *Store) Insert(rel string, tuple types.Tuple) error { return s.update(rel, tuple, 1) }
+
+// Delete removes one copy of tuple from the relation.
+func (s *Store) Delete(rel string, tuple types.Tuple) error { return s.update(rel, tuple, -1) }
+
+func (s *Store) update(rel string, tuple types.Tuple, delta float64) error {
+	t, ok := s.tables[lower(rel)]
+	if !ok {
+		return fmt.Errorf("store: unknown relation %q", rel)
+	}
+	if err := t.rel.Validate(tuple); err != nil {
+		return err
+	}
+	t.Update(t.rel.Coerce(tuple), delta)
+	return nil
+}
+
+// Scan implements algebra.DB.
+func (s *Store) Scan(rel string, f func(types.Tuple, float64)) {
+	if t, ok := s.tables[lower(rel)]; ok {
+		t.Scan(f)
+	}
+}
+
+// Sizes returns "name=count" strings in sorted order, for diagnostics.
+func (s *Store) Sizes() []string {
+	out := make([]string, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, fmt.Sprintf("%s=%d", t.rel.Name, t.Len()))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"testing"
+
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+func newStore() *Store {
+	return New(schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:float"),
+		schema.NewRelation("S", "X:string"),
+	))
+}
+
+func TestInsertDeleteMultiplicity(t *testing.T) {
+	s := newStore()
+	tup := types.Tuple{types.NewInt(1), types.NewFloat(2)}
+	for i := 0; i < 3; i++ {
+		if err := s.Insert("R", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, _ := s.Table("R")
+	if tbl.Len() != 1 || tbl.Count() != 3 {
+		t.Errorf("len=%d count=%v", tbl.Len(), tbl.Count())
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Delete("R", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 0 || tbl.Count() != 0 {
+		t.Errorf("after deletes: len=%d count=%v", tbl.Len(), tbl.Count())
+	}
+}
+
+func TestNegativeMultiplicityAllowed(t *testing.T) {
+	// Bag semantics with arbitrary deltas: a delete before any insert leaves
+	// multiplicity -1 (the engines rely on this algebraic behaviour).
+	s := newStore()
+	tup := types.Tuple{types.NewInt(1), types.NewFloat(2)}
+	if err := s.Delete("R", tup); err != nil {
+		t.Fatal(err)
+	}
+	var mult float64
+	s.Scan("R", func(_ types.Tuple, m float64) { mult = m })
+	if mult != -1 {
+		t.Errorf("mult = %v, want -1", mult)
+	}
+	if err := s.Insert("R", tup); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := s.Table("R")
+	if tbl.Len() != 0 {
+		t.Error("insert after delete should cancel to empty")
+	}
+}
+
+func TestValidationAndCoercion(t *testing.T) {
+	s := newStore()
+	if err := s.Insert("R", types.Tuple{types.NewInt(1)}); err == nil {
+		t.Error("bad arity accepted")
+	}
+	if err := s.Insert("Nope", types.Tuple{}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	// Int for float column is coerced, so the stored key matches floats.
+	if err := s.Insert("R", types.Tuple{types.NewInt(1), types.NewInt(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("R", types.Tuple{types.NewInt(1), types.NewFloat(2)}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := s.Table("R")
+	if tbl.Len() != 1 || tbl.Count() != 2 {
+		t.Errorf("coercion failed: len=%d count=%v", tbl.Len(), tbl.Count())
+	}
+}
+
+func TestCaseInsensitiveNames(t *testing.T) {
+	s := newStore()
+	if err := s.Insert("r", types.Tuple{types.NewInt(1), types.NewFloat(1)}); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	s.Scan("R", func(types.Tuple, float64) { seen++ })
+	if seen != 1 {
+		t.Errorf("scan saw %d tuples", seen)
+	}
+	if got := s.Sizes(); len(got) != 2 || got[0] != "R=1" || got[1] != "S=0" {
+		t.Errorf("Sizes = %v", got)
+	}
+}
+
+func TestScanTupleNotAliased(t *testing.T) {
+	s := newStore()
+	in := types.Tuple{types.NewInt(7), types.NewFloat(1)}
+	if err := s.Insert("R", in); err != nil {
+		t.Fatal(err)
+	}
+	in[0] = types.NewInt(999) // mutate caller's tuple after insert
+	var got types.Tuple
+	s.Scan("R", func(tp types.Tuple, _ float64) { got = tp })
+	if got[0] != types.NewInt(7) {
+		t.Error("store aliased the caller's tuple")
+	}
+}

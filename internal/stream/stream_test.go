@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"testing"
+
+	"dbtoaster/internal/types"
+)
+
+func TestEventConstructorsAndString(t *testing.T) {
+	ins := Ins("R", types.NewInt(1), types.NewString("x"))
+	if ins.Op != Insert || ins.Relation != "R" || len(ins.Args) != 2 {
+		t.Errorf("Ins = %+v", ins)
+	}
+	if got := ins.String(); got != "+R(1, x)" {
+		t.Errorf("String = %q", got)
+	}
+	del := Del("S", types.NewFloat(2.5))
+	if del.Op != Delete || del.String() != "-S(2.5)" {
+		t.Errorf("Del = %+v %q", del, del.String())
+	}
+}
+
+func TestUpdateIsDeleteInsertPair(t *testing.T) {
+	old := types.Tuple{types.NewInt(1)}
+	new_ := types.Tuple{types.NewInt(2)}
+	pair := Update("R", old, new_)
+	if pair[0].Op != Delete || !pair[0].Args.Equal(old) {
+		t.Errorf("pair[0] = %+v", pair[0])
+	}
+	if pair[1].Op != Insert || !pair[1].Args.Equal(new_) {
+		t.Errorf("pair[1] = %+v", pair[1])
+	}
+}
+
+func TestSliceSourceAndDrain(t *testing.T) {
+	evs := []Event{Ins("R", types.NewInt(1)), Del("R", types.NewInt(1))}
+	src := NewSliceSource(evs)
+	got := Drain(src)
+	if len(got) != 2 || got[0].String() != evs[0].String() {
+		t.Errorf("Drain = %v", got)
+	}
+	// Exhausted source yields nothing.
+	if _, ok := src.Next(); ok {
+		t.Error("exhausted source produced an event")
+	}
+	if more := Drain(src); len(more) != 0 {
+		t.Errorf("second drain = %v", more)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Insert.String() != "+" || Delete.String() != "-" {
+		t.Error("op strings wrong")
+	}
+}

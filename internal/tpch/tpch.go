@@ -1,0 +1,201 @@
+// Package tpch implements the paper's warehouse-loading demo workload: a
+// deterministic, scaled-down TPC-H-shaped data generator whose output is
+// streamed through the star-schema (SSB) transform into a lineorder fact
+// stream, plus the SSB queries (4.1 and 1.1) the demo evaluates while
+// loading. The paper uses TPC-H's dbgen output and a data-cleaning query;
+// here the generator performs the same denormalizing transform inline
+// (the documented substitution), producing the identical star schema and
+// value distributions shaped like TPC-H's.
+//
+// Deletions appear in the stream as corrections — a fraction of fact rows
+// are retracted and re-issued with adjusted revenue — exercising the
+// arbitrary-lifetime data model during warehouse loading.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/types"
+)
+
+// Regions and manufacturer labels follow the SSB vocabulary.
+var (
+	regions = []string{"AMERICA", "EUROPE", "ASIA", "AFRICA", "MIDDLE EAST"}
+	nations = map[string][]string{
+		"AMERICA":     {"UNITED STATES", "CANADA", "BRAZIL", "PERU", "ARGENTINA"},
+		"EUROPE":      {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+		"ASIA":        {"CHINA", "JAPAN", "INDIA", "INDONESIA", "VIETNAM"},
+		"AFRICA":      {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+		"MIDDLE EAST": {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+	}
+	mfgrs = []string{"MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"}
+)
+
+// Catalog returns the star schema: four dimensions and the lineorder fact.
+func Catalog() *schema.Catalog {
+	return schema.NewCatalog(
+		schema.NewRelation("dates", "datekey:int", "year:int", "month:int"),
+		schema.NewRelation("customer", "custkey:int", "nation:string", "region:string"),
+		schema.NewRelation("supplier", "suppkey:int", "nation:string", "region:string"),
+		schema.NewRelation("part", "partkey:int", "mfgr:string", "category:string"),
+		schema.NewRelation("lineorder",
+			"custkey:int", "suppkey:int", "partkey:int", "orderdate:int",
+			"quantity:float", "revenue:float", "supplycost:float"),
+	)
+}
+
+// SSB demo queries (for engines built with Catalog()).
+const (
+	// QuerySSB41 is Star Schema Benchmark query 4.1: yearly profit by
+	// customer nation for the American trade lane — the paper's warehouse
+	// demo query. A five-way join with a disjunctive part filter and a
+	// two-column GROUP BY.
+	QuerySSB41 = `select d.year, c.nation, sum(lo.revenue - lo.supplycost)
+		from dates d, customer c, supplier s, part p, lineorder lo
+		where lo.custkey = c.custkey and lo.suppkey = s.suppkey
+		  and lo.partkey = p.partkey and lo.orderdate = d.datekey
+		  and c.region = 'AMERICA' and s.region = 'AMERICA'
+		  and (p.mfgr = 'MFGR#1' or p.mfgr = 'MFGR#2')
+		group by d.year, c.nation`
+
+	// QuerySSB11 is SSB query 1.1 restricted to the columns our fact
+	// stream carries: total revenue for 1993 orders with small quantities.
+	QuerySSB11 = `select sum(lo.revenue)
+		from lineorder lo, dates d
+		where lo.orderdate = d.datekey and d.year = 1993 and lo.quantity < 25`
+
+	// QuerySSB21 is SSB query 2.1 restricted to our columns: revenue by
+	// year and part category for one manufacturer and American suppliers.
+	QuerySSB21 = `select d.year, p.category, sum(lo.revenue)
+		from lineorder lo, dates d, part p, supplier s
+		where lo.orderdate = d.datekey and lo.partkey = p.partkey
+		  and lo.suppkey = s.suppkey
+		  and p.mfgr = 'MFGR#1' and s.region = 'AMERICA'
+		group by d.year, p.category`
+
+	// QuerySSB31 is SSB query 3.1 restricted to our columns: intra-Asia
+	// trade revenue by customer nation, supplier nation, and year.
+	QuerySSB31 = `select c.nation, s.nation, d.year, sum(lo.revenue)
+		from customer c, lineorder lo, supplier s, dates d
+		where lo.custkey = c.custkey and lo.suppkey = s.suppkey
+		  and lo.orderdate = d.datekey
+		  and c.region = 'ASIA' and s.region = 'ASIA'
+		  and d.year >= 1992 and d.year <= 1997
+		group by c.nation, s.nation, d.year`
+
+	// QueryLoadMonitor tracks loading progress per order year.
+	QueryLoadMonitor = `select d.year, count(*), sum(lo.revenue)
+		from lineorder lo, dates d
+		where lo.orderdate = d.datekey
+		group by d.year`
+)
+
+// Generator produces the dimension-then-facts event stream.
+type Generator struct {
+	rng   *rand.Rand
+	Scale int
+	// dimension cardinalities, derived from Scale
+	nCust, nSupp, nPart int
+	dateKeys            []int64
+	facts               []types.Tuple // live facts, for corrections
+}
+
+// NewGenerator seeds a generator. Scale 1 ≈ 30 customers, 10 suppliers,
+// 40 parts, 7 years of dates; fact volume is chosen per call.
+func NewGenerator(seed int64, scale int) *Generator {
+	if scale < 1 {
+		scale = 1
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), Scale: scale}
+	g.nCust = 30 * scale
+	g.nSupp = 10 * scale
+	g.nPart = 40 * scale
+	for year := int64(1992); year <= 1998; year++ {
+		for month := int64(1); month <= 12; month++ {
+			g.dateKeys = append(g.dateKeys, year*100+month)
+		}
+	}
+	return g
+}
+
+func (g *Generator) pickNation() (string, string) {
+	region := regions[g.rng.Intn(len(regions))]
+	ns := nations[region]
+	return ns[g.rng.Intn(len(ns))], region
+}
+
+// DimensionEvents produces the dimension-load phase: every dimension row
+// as an insert (the warehouse's reference data).
+func (g *Generator) DimensionEvents() []stream.Event {
+	var out []stream.Event
+	for _, dk := range g.dateKeys {
+		out = append(out, stream.Ins("dates",
+			types.NewInt(dk), types.NewInt(dk/100), types.NewInt(dk%100)))
+	}
+	for i := 1; i <= g.nCust; i++ {
+		nation, region := g.pickNation()
+		out = append(out, stream.Ins("customer",
+			types.NewInt(int64(i)), types.NewString(nation), types.NewString(region)))
+	}
+	for i := 1; i <= g.nSupp; i++ {
+		nation, region := g.pickNation()
+		out = append(out, stream.Ins("supplier",
+			types.NewInt(int64(i)), types.NewString(nation), types.NewString(region)))
+	}
+	for i := 1; i <= g.nPart; i++ {
+		mfgr := mfgrs[g.rng.Intn(len(mfgrs))]
+		out = append(out, stream.Ins("part",
+			types.NewInt(int64(i)), types.NewString(mfgr),
+			types.NewString(fmt.Sprintf("%s#%d", mfgr, g.rng.Intn(5)+1))))
+	}
+	return out
+}
+
+// factTuple draws one lineorder row (the inline TPC-H→SSB transform:
+// lineitem extended-price arithmetic denormalized against its order).
+func (g *Generator) factTuple() types.Tuple {
+	qty := float64(1 + g.rng.Intn(50))
+	price := float64(100 + g.rng.Intn(900)) // whole currency units: exact
+	revenue := qty * price
+	supplycost := float64(int(revenue) * (50 + g.rng.Intn(20)) / 100)
+	return types.Tuple{
+		types.NewInt(int64(1 + g.rng.Intn(g.nCust))),
+		types.NewInt(int64(1 + g.rng.Intn(g.nSupp))),
+		types.NewInt(int64(1 + g.rng.Intn(g.nPart))),
+		types.NewInt(g.dateKeys[g.rng.Intn(len(g.dateKeys))]),
+		types.NewFloat(qty),
+		types.NewFloat(revenue),
+		types.NewFloat(supplycost),
+	}
+}
+
+// FactEvents produces n fact-stream events: mostly inserts, with ~5%
+// corrections (retract a prior fact and re-issue it with new revenue).
+func (g *Generator) FactEvents(n int) []stream.Event {
+	out := make([]stream.Event, 0, n)
+	for len(out) < n {
+		if len(g.facts) > 10 && g.rng.Intn(20) == 0 {
+			idx := g.rng.Intn(len(g.facts))
+			old := g.facts[idx]
+			out = append(out, stream.Event{Op: stream.Delete, Relation: "lineorder", Args: old})
+			fixed := old.Clone()
+			fixed[5] = types.NewFloat(old[5].Float() - float64(g.rng.Intn(100)))
+			g.facts[idx] = fixed
+			out = append(out, stream.Event{Op: stream.Insert, Relation: "lineorder", Args: fixed})
+			continue
+		}
+		f := g.factTuple()
+		g.facts = append(g.facts, f)
+		out = append(out, stream.Event{Op: stream.Insert, Relation: "lineorder", Args: f})
+	}
+	return out
+}
+
+// Workload produces the full warehouse-loading stream: dimensions first,
+// then n fact events.
+func (g *Generator) Workload(nFacts int) []stream.Event {
+	return append(g.DimensionEvents(), g.FactEvents(nFacts)...)
+}

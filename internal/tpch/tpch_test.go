@@ -1,0 +1,178 @@
+package tpch
+
+import (
+	"testing"
+
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/runtime"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/types"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(1, 1).Workload(300)
+	b := NewGenerator(1, 1).Workload(300)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestEventsValidAgainstCatalog(t *testing.T) {
+	cat := Catalog()
+	for _, ev := range NewGenerator(2, 2).Workload(500) {
+		rel, ok := cat.Relation(ev.Relation)
+		if !ok {
+			t.Fatalf("unknown relation %s", ev.Relation)
+		}
+		if err := rel.Validate(ev.Args); err != nil {
+			t.Fatalf("invalid %s: %v", ev, err)
+		}
+	}
+}
+
+func TestDimensionShape(t *testing.T) {
+	g := NewGenerator(3, 1)
+	dims := g.DimensionEvents()
+	counts := map[string]int{}
+	for _, ev := range dims {
+		if ev.Op != stream.Insert {
+			t.Fatalf("dimension phase contains deletes")
+		}
+		counts[ev.Relation]++
+	}
+	if counts["dates"] != 84 || counts["customer"] != 30 || counts["supplier"] != 10 || counts["part"] != 40 {
+		t.Errorf("dimension counts = %v", counts)
+	}
+}
+
+func TestFactCorrectionsAreValidRetractions(t *testing.T) {
+	g := NewGenerator(4, 1)
+	g.DimensionEvents()
+	live := map[string]bool{}
+	deletes := 0
+	for _, ev := range g.FactEvents(2000) {
+		key := ev.Args.String()
+		if ev.Op == stream.Insert {
+			live[key] = true
+			continue
+		}
+		deletes++
+		if !live[key] {
+			t.Fatalf("retraction of unknown fact %s", ev)
+		}
+		delete(live, key)
+	}
+	if deletes == 0 {
+		t.Error("no corrections generated")
+	}
+}
+
+func TestRevenueValuesExact(t *testing.T) {
+	g := NewGenerator(5, 1)
+	g.DimensionEvents()
+	for _, ev := range g.FactEvents(300) {
+		rev := ev.Args[5].Float()
+		if rev != float64(int64(rev)) {
+			t.Fatalf("revenue %v is not integral (exactness requirement)", rev)
+		}
+	}
+}
+
+// TestSSBQueriesAllEnginesAgree runs the warehouse workload through the
+// demo queries on all three engines.
+func TestSSBQueriesAllEnginesAgree(t *testing.T) {
+	evs := NewGenerator(6, 1).Workload(400)
+	for _, src := range []string{QuerySSB41, QuerySSB11, QuerySSB21, QuerySSB31, QueryLoadMonitor} {
+		q, err := engine.Prepare(src, Catalog())
+		if err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		toaster, err := engine.NewToaster(q, runtime.Options{})
+		if err != nil {
+			t.Fatalf("toaster: %v", err)
+		}
+		engines := []engine.Engine{toaster, engine.NewNaive(q), engine.NewIVM(q)}
+		for _, ev := range evs {
+			for _, e := range engines {
+				if err := e.OnEvent(ev); err != nil {
+					t.Fatalf("%s on %s: %v", e.Name(), ev, err)
+				}
+			}
+		}
+		ref, err := engines[0].Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range engines[1:] {
+			got, err := e.Results()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Equal(got) {
+				t.Fatalf("%s disagrees on %q\n%s\nvs\n%s", e.Name(), src, ref, got)
+			}
+		}
+		if src == QuerySSB41 && len(ref.Rows) == 0 {
+			t.Error("SSB 4.1 produced no groups (workload too small or filter broken)")
+		}
+		// Every SSB 4.1 row's nation must be American.
+		if src == QuerySSB41 {
+			american := map[string]bool{}
+			for _, n := range nations["AMERICA"] {
+				american[n] = true
+			}
+			for _, row := range ref.Rows {
+				if !american[row[1].Str()] {
+					t.Errorf("non-American nation %v in SSB 4.1 result", row[1])
+				}
+			}
+		}
+	}
+}
+
+func TestSSB41ProfitMatchesHandComputation(t *testing.T) {
+	// Tiny hand-checkable scenario.
+	cat := Catalog()
+	q, err := engine.Prepare(QuerySSB41, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toaster, err := engine.NewToaster(q, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []stream.Event{
+		stream.Ins("dates", types.NewInt(199301), types.NewInt(1993), types.NewInt(1)),
+		stream.Ins("customer", types.NewInt(1), types.NewString("CANADA"), types.NewString("AMERICA")),
+		stream.Ins("supplier", types.NewInt(1), types.NewString("PERU"), types.NewString("AMERICA")),
+		stream.Ins("part", types.NewInt(1), types.NewString("MFGR#1"), types.NewString("MFGR#1#1")),
+		stream.Ins("part", types.NewInt(2), types.NewString("MFGR#3"), types.NewString("MFGR#3#1")),
+		// Qualifying fact: revenue 1000, cost 600 → profit 400.
+		stream.Ins("lineorder", types.NewInt(1), types.NewInt(1), types.NewInt(1),
+			types.NewInt(199301), types.NewFloat(10), types.NewFloat(1000), types.NewFloat(600)),
+		// Non-qualifying part (MFGR#3).
+		stream.Ins("lineorder", types.NewInt(1), types.NewInt(1), types.NewInt(2),
+			types.NewInt(199301), types.NewFloat(10), types.NewFloat(500), types.NewFloat(100)),
+	}
+	for _, ev := range evs {
+		if err := toaster.OnEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := toaster.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %s", res)
+	}
+	row := res.Rows[0]
+	if row[0].Float() != 1993 || row[1].Str() != "CANADA" || row[2].Float() != 400 {
+		t.Errorf("row = %v", row)
+	}
+}

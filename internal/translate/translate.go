@@ -1,0 +1,706 @@
+// Package translate lowers analyzed SQL SELECT statements into map-algebra
+// terms (internal/algebra), the input representation of the recursive delta
+// compiler. Each aggregate in the SELECT list becomes a Component whose
+// defining term is an AggSum over the join's relation atoms and the WHERE
+// indicator factors; select items evaluate a small result-expression
+// language over component values at read time (AVG divides a SUM component
+// by a COUNT component, for example).
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/sql"
+	"dbtoaster/internal/types"
+)
+
+// Query is the algebraic form of one standing SQL query.
+type Query struct {
+	Name    string
+	SQL     string
+	Catalog *schema.Catalog
+
+	// GroupVars are the algebra variables of the GROUP BY columns, in
+	// GROUP BY order; GroupNames are their display names.
+	GroupVars  []algebra.Var
+	GroupNames []string
+
+	// Components are the aggregate building blocks referenced by Items.
+	// When the query has a GROUP BY, COUNT, or AVG, Components[ExistsIdx]
+	// is the plain COUNT(*) of the join (group existence and AVG
+	// denominators); otherwise ExistsIdx is -1.
+	Components []Component
+	ExistsIdx  int
+
+	// Items are the SELECT-list outputs in order.
+	Items []Item
+
+	// Having, when non-nil, is a boolean result expression filtering
+	// groups at read time (aggregates inside it become components too).
+	Having RExpr
+
+	// Subqueries are uncorrelated scalar aggregate subqueries that were
+	// replaced by fresh variables in WHERE; each is a full Query of its own.
+	Subqueries []SubAgg
+
+	// Relations are the distinct base relation names in FROM.
+	Relations []string
+}
+
+// ComponentKind classifies an aggregate component.
+type ComponentKind int
+
+// Component kinds.
+const (
+	CompSum ComponentKind = iota
+	CompCount
+	CompMin
+	CompMax
+)
+
+// String names the kind.
+func (k ComponentKind) String() string {
+	switch k {
+	case CompSum:
+		return "sum"
+	case CompCount:
+		return "count"
+	case CompMin:
+		return "min"
+	default:
+		return "max"
+	}
+}
+
+// Component is one incrementally-maintainable aggregate.
+//
+// For Sum/Count, Term is AggSum(GroupVars, join × where × arg) — a ring
+// aggregate the recursive compiler handles directly. For Min/Max, Term is
+// AggSum(GroupVars+[ExtVar], join × where × [ExtVar := arg]): a count of
+// join tuples grouped additionally by the aggregated value, from which the
+// runtime reads the extremum through a sorted index.
+type Component struct {
+	Kind   ComponentKind
+	Term   *algebra.AggSum
+	ExtVar algebra.Var // set for Min/Max
+}
+
+// Item is one SELECT-list output.
+type Item struct {
+	Name string
+	Expr RExpr
+	Type types.Kind
+}
+
+// SubAgg is an uncorrelated scalar subquery replaced by Var in the parent.
+type SubAgg struct {
+	Var   algebra.Var
+	Query *Query
+}
+
+// RExpr is the read-time result expression language.
+type RExpr interface{ rexpr() }
+
+// RConst is a literal.
+type RConst struct{ Value types.Value }
+
+// RGroup references group-by column i of the query.
+type RGroup struct{ Idx int }
+
+// RComp references component i's maintained value for the current group.
+type RComp struct{ Idx int }
+
+// RArith combines two result expressions with +, -, *, or /.
+type RArith struct {
+	Op   byte
+	L, R RExpr
+}
+
+// RNeg negates a result expression.
+type RNeg struct{ X RExpr }
+
+// RCmp compares two result expressions to a boolean (HAVING predicates).
+type RCmp struct {
+	Op   algebra.CmpOp
+	L, R RExpr
+}
+
+// RLogic combines boolean result expressions; Op is '&' (AND) or '|' (OR).
+type RLogic struct {
+	Op   byte
+	L, R RExpr
+}
+
+// RNot negates a boolean result expression.
+type RNot struct{ X RExpr }
+
+func (*RConst) rexpr() {}
+func (*RGroup) rexpr() {}
+func (*RComp) rexpr()  {}
+func (*RArith) rexpr() {}
+func (*RNeg) rexpr()   {}
+func (*RCmp) rexpr()   {}
+func (*RLogic) rexpr() {}
+func (*RNot) rexpr()   {}
+
+// translator carries per-query state.
+type translator struct {
+	q           *Query
+	a           *sql.Analyzed
+	subN        *int // shared fresh-variable counter across nesting
+	liftN       int
+	joinFactors []algebra.Term
+}
+
+// Translate lowers an analyzed statement into its algebraic form. name is
+// used as a prefix for generated map names downstream.
+func Translate(name string, a *sql.Analyzed) (*Query, error) {
+	n := 0
+	return translateWith(name, a, &n)
+}
+
+func translateWith(name string, a *sql.Analyzed, subN *int) (*Query, error) {
+	t := &translator{
+		q: &Query{
+			Name:    name,
+			SQL:     a.Stmt.String(),
+			Catalog: a.Catalog,
+		},
+		a:    a,
+		subN: subN,
+	}
+	if err := t.run(); err != nil {
+		return nil, err
+	}
+	return t.q, nil
+}
+
+// varName is the algebra variable for a column of a FROM binding.
+func varName(binding, col string) algebra.Var {
+	return strings.ToLower(binding) + "_" + strings.ToLower(col)
+}
+
+func (t *translator) colVar(c *sql.ColumnRef) (algebra.Var, error) {
+	if c.Outer > 0 {
+		return "", fmt.Errorf("translate: correlated subqueries are not supported by the core compiler (column %s)", c)
+	}
+	binding := t.a.Stmt.From[c.TableIdx].Binding()
+	col := t.a.Relations[c.TableIdx].Columns[c.ColIdx].Name
+	return varName(binding, col), nil
+}
+
+func (t *translator) run() error {
+	stmt := t.a.Stmt
+
+	// Distinct base relations.
+	seen := map[string]bool{}
+	for _, rel := range t.a.Relations {
+		if !seen[rel.Name] {
+			seen[rel.Name] = true
+			t.q.Relations = append(t.q.Relations, rel.Name)
+		}
+	}
+
+	// Group variables.
+	for _, g := range stmt.GroupBy {
+		v, err := t.colVar(g)
+		if err != nil {
+			return err
+		}
+		t.q.GroupVars = append(t.q.GroupVars, v)
+		t.q.GroupNames = append(t.q.GroupNames, g.String())
+	}
+
+	// Join atoms: one Rel per FROM entry, with per-binding variables.
+	var joinFactors []algebra.Term
+	for i, ref := range stmt.From {
+		rel := t.a.Relations[i]
+		vars := make([]algebra.Var, rel.Arity())
+		for j, col := range rel.Columns {
+			vars[j] = varName(ref.Binding(), col.Name)
+		}
+		joinFactors = append(joinFactors, algebra.NewRel(rel.Name, vars...))
+	}
+
+	// WHERE indicator factors.
+	if stmt.Where != nil {
+		fs, err := t.condFactors(stmt.Where)
+		if err != nil {
+			return err
+		}
+		joinFactors = append(joinFactors, fs...)
+	}
+
+	t.joinFactors = joinFactors
+
+	// Implicit existence COUNT(*): needed whenever the query groups
+	// (deciding which groups exist requires the support count); COUNT and
+	// AVG items request it lazily via ensureExists.
+	t.q.ExistsIdx = -1
+	if len(t.q.GroupVars) > 0 {
+		t.ensureExists()
+	}
+
+	// Select items.
+	for i, it := range stmt.Items {
+		name := it.Alias
+		if name == "" {
+			name = fmt.Sprintf("col%d", i)
+			if c, ok := it.Expr.(*sql.ColumnRef); ok {
+				name = c.Column
+			}
+		}
+		re, err := t.itemExpr(it.Expr)
+		if err != nil {
+			return err
+		}
+		t.q.Items = append(t.q.Items, Item{Name: name, Expr: re, Type: sql.TypeOf(it.Expr)})
+	}
+
+	// HAVING: a boolean result expression over aggregate components and
+	// group columns, applied as a group filter at read time.
+	if stmt.Having != nil {
+		h, err := t.boolExpr(stmt.Having)
+		if err != nil {
+			return err
+		}
+		t.q.Having = h
+	}
+	return nil
+}
+
+// boolExpr lowers a boolean expression over aggregates and group columns
+// into the result-expression language (HAVING clauses).
+func (t *translator) boolExpr(e sql.Expr) (RExpr, error) {
+	switch e := e.(type) {
+	case *sql.BoolLit:
+		return &RConst{Value: types.NewBool(e.Value)}, nil
+	case *sql.UnaryExpr:
+		if e.Op != sql.OpNot {
+			return nil, fmt.Errorf("translate: arithmetic in boolean position")
+		}
+		x, err := t.boolExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &RNot{X: x}, nil
+	case *sql.BinaryExpr:
+		switch {
+		case e.Op == sql.OpAnd, e.Op == sql.OpOr:
+			l, err := t.boolExpr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := t.boolExpr(e.R)
+			if err != nil {
+				return nil, err
+			}
+			op := byte('&')
+			if e.Op == sql.OpOr {
+				op = '|'
+			}
+			return &RLogic{Op: op, L: l, R: r}, nil
+		case e.Op.IsComparison():
+			l, err := t.itemExpr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := t.itemExpr(e.R)
+			if err != nil {
+				return nil, err
+			}
+			var op algebra.CmpOp
+			switch e.Op {
+			case sql.OpEq:
+				op = algebra.CmpEq
+			case sql.OpNeq:
+				op = algebra.CmpNeq
+			case sql.OpLt:
+				op = algebra.CmpLt
+			case sql.OpLte:
+				op = algebra.CmpLte
+			case sql.OpGt:
+				op = algebra.CmpGt
+			case sql.OpGte:
+				op = algebra.CmpGte
+			}
+			return &RCmp{Op: op, L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("translate: unsupported HAVING operator %s", e.Op)
+	}
+	return nil, fmt.Errorf("translate: unsupported HAVING expression %s", e)
+}
+
+// ensureExists creates the COUNT(*) component on first use.
+func (t *translator) ensureExists() int {
+	if t.q.ExistsIdx < 0 {
+		t.q.ExistsIdx = t.addComponent(Component{
+			Kind: CompCount,
+			Term: t.aggTerm(t.q.GroupVars, t.joinFactors, nil),
+		})
+	}
+	return t.q.ExistsIdx
+}
+
+// aggTerm builds AggSum(groupVars, Prod(factors..., extra...)).
+func (t *translator) aggTerm(groupVars []algebra.Var, factors []algebra.Term, extra []algebra.Term) *algebra.AggSum {
+	fs := make([]algebra.Term, 0, len(factors)+len(extra))
+	fs = append(fs, factors...)
+	fs = append(fs, extra...)
+	gv := make([]algebra.Var, len(groupVars))
+	copy(gv, groupVars)
+	return &algebra.AggSum{GroupVars: gv, Body: algebra.NewProd(fs...)}
+}
+
+// addComponent appends c, reusing an existing structurally-identical
+// component (shared maps across items, e.g. AVG and SUM of the same thing).
+func (t *translator) addComponent(c Component) int {
+	sig := c.Term.String() + "/" + c.Kind.String()
+	for i, prev := range t.q.Components {
+		if prev.Term.String()+"/"+prev.Kind.String() == sig {
+			return i
+		}
+	}
+	t.q.Components = append(t.q.Components, c)
+	return len(t.q.Components) - 1
+}
+
+// itemExpr lowers one select-item expression into a result expression,
+// creating components for each aggregate.
+func (t *translator) itemExpr(e sql.Expr) (RExpr, error) {
+	switch e := e.(type) {
+	case *sql.NumberLit:
+		return &RConst{Value: e.Value}, nil
+	case *sql.StringLit:
+		return &RConst{Value: types.NewString(e.Value)}, nil
+	case *sql.BoolLit:
+		return &RConst{Value: types.NewBool(e.Value)}, nil
+	case *sql.ColumnRef:
+		v, err := t.colVar(e)
+		if err != nil {
+			return nil, err
+		}
+		for i, gv := range t.q.GroupVars {
+			if gv == v {
+				return &RGroup{Idx: i}, nil
+			}
+		}
+		return nil, fmt.Errorf("translate: column %s is not a GROUP BY column", e)
+	case *sql.UnaryExpr:
+		if e.Op != sql.OpNeg {
+			return nil, fmt.Errorf("translate: NOT is not valid in a select item")
+		}
+		x, err := t.itemExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &RNeg{X: x}, nil
+	case *sql.BinaryExpr:
+		if !e.Op.IsArith() {
+			return nil, fmt.Errorf("translate: operator %s is not valid in a select item", e.Op)
+		}
+		l, err := t.itemExpr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.itemExpr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		var op byte
+		switch e.Op {
+		case sql.OpAdd:
+			op = '+'
+		case sql.OpSub:
+			op = '-'
+		case sql.OpMul:
+			op = '*'
+		case sql.OpDiv:
+			op = '/'
+		}
+		return &RArith{Op: op, L: l, R: r}, nil
+	case *sql.AggExpr:
+		return t.aggItem(e)
+	case *sql.SubqueryExpr:
+		v, err := t.subquery(e)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("translate: unsupported select item %s", e)
+}
+
+func (t *translator) aggItem(e *sql.AggExpr) (RExpr, error) {
+	switch e.Func {
+	case sql.AggCount:
+		// COUNT(expr) is treated as COUNT(*): the algebra has no NULLs in
+		// base data, so the two coincide for our workloads.
+		return &RComp{Idx: t.ensureExists()}, nil
+	case sql.AggSum:
+		arg, err := t.valExpr(e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		idx := t.addComponent(Component{
+			Kind: CompSum,
+			Term: t.aggTerm(t.q.GroupVars, t.joinFactors, []algebra.Term{&algebra.Val{Expr: arg}}),
+		})
+		return &RComp{Idx: idx}, nil
+	case sql.AggAvg:
+		arg, err := t.valExpr(e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		sumIdx := t.addComponent(Component{
+			Kind: CompSum,
+			Term: t.aggTerm(t.q.GroupVars, t.joinFactors, []algebra.Term{&algebra.Val{Expr: arg}}),
+		})
+		return &RArith{Op: '/', L: &RComp{Idx: sumIdx}, R: &RComp{Idx: t.ensureExists()}}, nil
+	case sql.AggMin, sql.AggMax:
+		arg, err := t.valExpr(e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		t.liftN++
+		ext := fmt.Sprintf("xv%d", t.liftN)
+		kind := CompMin
+		if e.Func == sql.AggMax {
+			kind = CompMax
+		}
+		gv := append(append([]algebra.Var{}, t.q.GroupVars...), ext)
+		idx := t.addComponent(Component{
+			Kind:   kind,
+			Term:   t.aggTerm(gv, t.joinFactors, []algebra.Term{&algebra.Lift{Var: ext, Expr: arg}}),
+			ExtVar: ext,
+		})
+		return &RComp{Idx: idx}, nil
+	}
+	return nil, fmt.Errorf("translate: unsupported aggregate %s", e)
+}
+
+// valExpr lowers a scalar SQL expression (no aggregates) to a ValExpr.
+func (t *translator) valExpr(e sql.Expr) (algebra.ValExpr, error) {
+	switch e := e.(type) {
+	case *sql.ColumnRef:
+		v, err := t.colVar(e)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.VVar{Name: v}, nil
+	case *sql.NumberLit:
+		return &algebra.VConst{Value: e.Value}, nil
+	case *sql.StringLit:
+		return &algebra.VConst{Value: types.NewString(e.Value)}, nil
+	case *sql.BoolLit:
+		return &algebra.VConst{Value: types.NewBool(e.Value)}, nil
+	case *sql.UnaryExpr:
+		if e.Op != sql.OpNeg {
+			return nil, fmt.Errorf("translate: NOT in scalar position")
+		}
+		x, err := t.valExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.VArith{Op: '-', L: &algebra.VConst{Value: types.NewInt(0)}, R: x}, nil
+	case *sql.BinaryExpr:
+		if !e.Op.IsArith() {
+			return nil, fmt.Errorf("translate: comparison %s in scalar position", e.Op)
+		}
+		l, err := t.valExpr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.valExpr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		var op byte
+		switch e.Op {
+		case sql.OpAdd:
+			op = '+'
+		case sql.OpSub:
+			op = '-'
+		case sql.OpMul:
+			op = '*'
+		case sql.OpDiv:
+			op = '/'
+		}
+		return &algebra.VArith{Op: op, L: l, R: r}, nil
+	case *sql.SubqueryExpr:
+		v, err := t.subquery(e)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.VVar{Name: v.Var}, nil
+	}
+	return nil, fmt.Errorf("translate: unsupported scalar expression %s", e)
+}
+
+// subquery translates an uncorrelated scalar subquery, registering it and
+// returning its placeholder.
+func (t *translator) subquery(e *sql.SubqueryExpr) (*subRef, error) {
+	if correlated(e.Query) {
+		return nil, fmt.Errorf("translate: correlated subqueries are not supported by the core compiler")
+	}
+	sub, err := sql.Analyze(e.Query, t.a.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	*t.subN++
+	v := fmt.Sprintf("sub%d", *t.subN)
+	sq, err := translateWith(t.q.Name+"_"+v, sub, t.subN)
+	if err != nil {
+		return nil, err
+	}
+	t.q.Subqueries = append(t.q.Subqueries, SubAgg{Var: v, Query: sq})
+	return &subRef{Var: v}, nil
+}
+
+// subRef is an RExpr placeholder for a subquery's scalar value.
+type subRef struct{ Var algebra.Var }
+
+func (*subRef) rexpr() {}
+
+// RSub references a subquery placeholder variable in a result expression.
+type RSub = subRef
+
+// condFactors lowers a boolean WHERE expression to indicator factors.
+// Conjunctions flatten into multiple factors; OR and NOT become ring
+// arithmetic over indicators ([a OR b] = a + b − a·b, [NOT a] = 1 − a).
+func (t *translator) condFactors(e sql.Expr) ([]algebra.Term, error) {
+	switch e := e.(type) {
+	case *sql.BinaryExpr:
+		if e.Op == sql.OpAnd {
+			l, err := t.condFactors(e.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := t.condFactors(e.R)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		}
+		term, err := t.condTerm(e)
+		if err != nil {
+			return nil, err
+		}
+		return []algebra.Term{term}, nil
+	default:
+		term, err := t.condTerm(e)
+		if err != nil {
+			return nil, err
+		}
+		return []algebra.Term{term}, nil
+	}
+}
+
+// condTerm lowers a boolean expression to a single 0/1-valued term.
+func (t *translator) condTerm(e sql.Expr) (algebra.Term, error) {
+	switch e := e.(type) {
+	case *sql.BoolLit:
+		if e.Value {
+			return algebra.One(), nil
+		}
+		return algebra.Zero(), nil
+	case *sql.UnaryExpr:
+		if e.Op != sql.OpNot {
+			return nil, fmt.Errorf("translate: arithmetic in boolean position")
+		}
+		x, err := t.condTerm(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewSum(algebra.One(), algebra.NewProd(algebra.ConstVal(types.NewInt(-1)), x)), nil
+	case *sql.BinaryExpr:
+		switch {
+		case e.Op == sql.OpAnd:
+			l, err := t.condTerm(e.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := t.condTerm(e.R)
+			if err != nil {
+				return nil, err
+			}
+			return algebra.NewProd(l, r), nil
+		case e.Op == sql.OpOr:
+			l, err := t.condTerm(e.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := t.condTerm(e.R)
+			if err != nil {
+				return nil, err
+			}
+			return algebra.NewSum(l, r,
+				algebra.NewProd(algebra.ConstVal(types.NewInt(-1)), l, r)), nil
+		case e.Op.IsComparison():
+			l, err := t.valExpr(e.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := t.valExpr(e.R)
+			if err != nil {
+				return nil, err
+			}
+			var op algebra.CmpOp
+			switch e.Op {
+			case sql.OpEq:
+				op = algebra.CmpEq
+			case sql.OpNeq:
+				op = algebra.CmpNeq
+			case sql.OpLt:
+				op = algebra.CmpLt
+			case sql.OpLte:
+				op = algebra.CmpLte
+			case sql.OpGt:
+				op = algebra.CmpGt
+			case sql.OpGte:
+				op = algebra.CmpGte
+			}
+			return &algebra.Cmp{Op: op, L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("translate: unsupported boolean operator %s", e.Op)
+	}
+	return nil, fmt.Errorf("translate: unsupported boolean expression %s", e)
+}
+
+// correlated reports whether the subquery references enclosing scopes.
+func correlated(stmt *sql.SelectStmt) bool {
+	found := false
+	stmt.WalkExprs(func(e sql.Expr) bool {
+		if c, ok := e.(*sql.ColumnRef); ok && c.Outer > 0 {
+			found = true
+		}
+		if sub, ok := e.(*sql.SubqueryExpr); ok {
+			if correlatedAtDepth(sub.Query, 2) {
+				found = true
+			}
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func correlatedAtDepth(stmt *sql.SelectStmt, depth int) bool {
+	found := false
+	stmt.WalkExprs(func(e sql.Expr) bool {
+		if c, ok := e.(*sql.ColumnRef); ok && c.Outer >= depth {
+			found = true
+		}
+		if sub, ok := e.(*sql.SubqueryExpr); ok {
+			if correlatedAtDepth(sub.Query, depth+1) {
+				found = true
+			}
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,288 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/sql"
+)
+
+func testCatalog() *schema.Catalog {
+	return schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("S", "B:int", "C:int"),
+		schema.NewRelation("T", "C:int", "D:int"),
+		schema.NewRelation("bids", "price:float", "volume:float"),
+		schema.NewRelation("sales", "region:string", "amount:float", "qty:int"),
+	)
+}
+
+func mustTranslate(t *testing.T, src string) *Query {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a, err := sql.Analyze(stmt, testCatalog())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	q, err := Translate("q", a)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	return q
+}
+
+func TestTranslatePaperQuery(t *testing.T) {
+	q := mustTranslate(t, "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C")
+	if len(q.Relations) != 3 {
+		t.Fatalf("relations = %v", q.Relations)
+	}
+	if len(q.Components) != 1 { // sum only (no exists for a scalar SUM query)
+		t.Fatalf("components = %d", len(q.Components))
+	}
+	sum := q.Components[0]
+	if sum.Kind != CompSum {
+		t.Fatalf("component kind = %v", sum.Kind)
+	}
+	got := sum.Term.String()
+	want := "Sum{}(R(r_a,r_b) * S(s_b,s_c) * T(t_c,t_d) * [r_b = s_b] * [s_c = t_c] * (r_a*t_d))"
+	if got != want {
+		t.Errorf("term = %s\nwant  %s", got, want)
+	}
+	if _, ok := q.Items[0].Expr.(*RComp); !ok {
+		t.Errorf("item expr = %T", q.Items[0].Expr)
+	}
+}
+
+func TestTranslateGroupBy(t *testing.T) {
+	q := mustTranslate(t, "select region, sum(amount) from sales group by region")
+	if len(q.GroupVars) != 1 || q.GroupVars[0] != "sales_region" {
+		t.Fatalf("group vars = %v", q.GroupVars)
+	}
+	if g, ok := q.Items[0].Expr.(*RGroup); !ok || g.Idx != 0 {
+		t.Errorf("item 0 = %#v", q.Items[0].Expr)
+	}
+	sum := q.Components[1].Term
+	if len(sum.GroupVars) != 1 || sum.GroupVars[0] != "sales_region" {
+		t.Errorf("component group vars = %v", sum.GroupVars)
+	}
+}
+
+func TestTranslateAvgSharesCount(t *testing.T) {
+	q := mustTranslate(t, "select avg(amount), count(*), sum(amount) from sales")
+	// exists-count + one shared sum = 2 components.
+	if len(q.Components) != 2 {
+		t.Fatalf("components = %d, want 2 (sharing)", len(q.Components))
+	}
+	div, ok := q.Items[0].Expr.(*RArith)
+	if !ok || div.Op != '/' {
+		t.Fatalf("avg expr = %#v", q.Items[0].Expr)
+	}
+	if c, ok := div.R.(*RComp); !ok || c.Idx != q.ExistsIdx {
+		t.Errorf("avg denominator should be the exists count")
+	}
+	if c, ok := q.Items[1].Expr.(*RComp); !ok || c.Idx != q.ExistsIdx {
+		t.Errorf("count(*) should reuse exists component")
+	}
+}
+
+func TestTranslateMinMax(t *testing.T) {
+	q := mustTranslate(t, "select min(amount), max(amount) from sales group by region")
+	if len(q.Components) != 3 {
+		t.Fatalf("components = %d", len(q.Components))
+	}
+	mn := q.Components[1]
+	if mn.Kind != CompMin || mn.ExtVar == "" {
+		t.Fatalf("min component = %+v", mn)
+	}
+	// Grouped by region AND the lifted value.
+	if len(mn.Term.GroupVars) != 2 || mn.Term.GroupVars[0] != "sales_region" || mn.Term.GroupVars[1] != mn.ExtVar {
+		t.Errorf("min group vars = %v", mn.Term.GroupVars)
+	}
+	if !strings.Contains(mn.Term.String(), ":=") {
+		t.Errorf("min term missing lift: %s", mn.Term)
+	}
+	if q.Components[2].Kind != CompMax {
+		t.Errorf("component 2 = %v", q.Components[2].Kind)
+	}
+}
+
+func TestTranslateWhereOrNot(t *testing.T) {
+	q := mustTranslate(t, "select sum(amount) from sales where region = 'a' or not qty > 3")
+	s := q.Components[0].Term.String()
+	// OR lowered to a + b - a*b; NOT to 1 - x.
+	if !strings.Contains(s, "[sales_region = a]") {
+		t.Errorf("missing eq indicator: %s", s)
+	}
+	if !strings.Contains(s, "-1") {
+		t.Errorf("missing inclusion-exclusion term: %s", s)
+	}
+}
+
+func TestTranslateArithmeticOverAggregates(t *testing.T) {
+	q := mustTranslate(t, "select 2*sum(amount) - sum(qty) from sales")
+	e, ok := q.Items[0].Expr.(*RArith)
+	if !ok || e.Op != '-' {
+		t.Fatalf("item expr = %#v", q.Items[0].Expr)
+	}
+	if len(q.Components) != 2 {
+		t.Errorf("components = %d", len(q.Components))
+	}
+}
+
+func TestTranslateSubquery(t *testing.T) {
+	q := mustTranslate(t, "select sum(price*volume) from bids where price > 0.25 * (select sum(volume) from bids)")
+	if len(q.Subqueries) != 1 {
+		t.Fatalf("subqueries = %d", len(q.Subqueries))
+	}
+	sub := q.Subqueries[0]
+	if sub.Var != "sub1" {
+		t.Errorf("sub var = %s", sub.Var)
+	}
+	if len(sub.Query.Components) != 1 {
+		t.Errorf("sub components = %d", len(sub.Query.Components))
+	}
+	// The outer term references sub1 inside its comparison.
+	s := q.Components[0].Term.String()
+	if !strings.Contains(s, "sub1") {
+		t.Errorf("outer term missing sub var: %s", s)
+	}
+}
+
+func TestTranslateCorrelatedRejected(t *testing.T) {
+	stmt, err := sql.Parse(`select sum(b1.price) from bids b1
+		where b1.price > (select avg(b2.price) from bids b2 where b2.volume > b1.volume)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sql.Analyze(stmt, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate("q", a); err == nil {
+		t.Error("correlated subquery accepted by core translator")
+	}
+}
+
+func TestTranslateSelfJoinDistinctVars(t *testing.T) {
+	q := mustTranslate(t, "select sum(x.A * y.A) from R x, R y where x.B = y.B")
+	s := q.Components[0].Term.String()
+	if !strings.Contains(s, "R(x_a,x_b)") || !strings.Contains(s, "R(y_a,y_b)") {
+		t.Errorf("self-join vars not distinct: %s", s)
+	}
+	if len(q.Relations) != 1 {
+		t.Errorf("relations = %v", q.Relations)
+	}
+}
+
+func TestTranslateItemNames(t *testing.T) {
+	q := mustTranslate(t, "select region, sum(amount) as total, count(*) from sales group by region")
+	if q.Items[0].Name != "region" || q.Items[1].Name != "total" || q.Items[2].Name != "col2" {
+		t.Errorf("names = %q %q %q", q.Items[0].Name, q.Items[1].Name, q.Items[2].Name)
+	}
+}
+
+func TestTranslateCountExpr(t *testing.T) {
+	q := mustTranslate(t, "select count(amount) from sales")
+	if c, ok := q.Items[0].Expr.(*RComp); !ok || c.Idx != q.ExistsIdx {
+		t.Errorf("count(expr) should lower to the exists count")
+	}
+}
+
+func TestTranslateConstItem(t *testing.T) {
+	q := mustTranslate(t, "select sum(amount) + 1 from sales")
+	e := q.Items[0].Expr.(*RArith)
+	if _, ok := e.R.(*RConst); !ok {
+		t.Errorf("const not lowered: %#v", e.R)
+	}
+}
+
+func TestTranslateItemShapes(t *testing.T) {
+	// Literals of every kind and negation in select items.
+	q := mustTranslate(t, "select 'label', true, 1.5, -sum(amount) from sales")
+	if c, ok := q.Items[0].Expr.(*RConst); !ok || c.Value.Str() != "label" {
+		t.Errorf("string item = %#v", q.Items[0].Expr)
+	}
+	if c, ok := q.Items[1].Expr.(*RConst); !ok || !c.Value.Bool() {
+		t.Errorf("bool item = %#v", q.Items[1].Expr)
+	}
+	if _, ok := q.Items[3].Expr.(*RNeg); !ok {
+		t.Errorf("negated aggregate = %#v", q.Items[3].Expr)
+	}
+}
+
+func TestTranslateSubqueryInSelectItem(t *testing.T) {
+	q := mustTranslate(t, "select sum(amount) + (select sum(volume) from bids) from sales")
+	if len(q.Subqueries) != 1 {
+		t.Fatalf("subqueries = %d", len(q.Subqueries))
+	}
+	add, ok := q.Items[0].Expr.(*RArith)
+	if !ok {
+		t.Fatalf("item = %#v", q.Items[0].Expr)
+	}
+	if _, ok := add.R.(*RSub); !ok {
+		t.Errorf("subquery placeholder missing: %#v", add.R)
+	}
+}
+
+func TestTranslateWhereBoolLiterals(t *testing.T) {
+	q := mustTranslate(t, "select sum(amount) from sales where true and region = 'x' or false")
+	s := q.Components[0].Term.String()
+	if !strings.Contains(s, "1") {
+		t.Errorf("bool literal lowering: %s", s)
+	}
+}
+
+func TestTranslateDoublyNestedCorrelationRejected(t *testing.T) {
+	// The correlation sits two scopes deep: b1 referenced from the
+	// innermost subquery.
+	stmt, err := sql.Parse(`select sum(b1.price) from bids b1 where b1.volume >
+		(select sum(b2.volume) from bids b2 where b2.price >
+			(select avg(b3.price) from bids b3 where b3.volume = b1.volume))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sql.Analyze(stmt, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate("q", a); err == nil {
+		t.Error("doubly nested correlation accepted")
+	}
+}
+
+func TestTranslateNestedUncorrelatedSubqueries(t *testing.T) {
+	q := mustTranslate(t, `select sum(amount) from sales where amount >
+		(select avg(volume) from bids where volume >
+			(select sum(qty) from sales))`)
+	if len(q.Subqueries) != 1 {
+		t.Fatalf("outer subqueries = %d", len(q.Subqueries))
+	}
+	inner := q.Subqueries[0].Query
+	if len(inner.Subqueries) != 1 {
+		t.Fatalf("inner subqueries = %d", len(inner.Subqueries))
+	}
+	// Distinct placeholder variables.
+	if q.Subqueries[0].Var == inner.Subqueries[0].Var {
+		t.Error("placeholder variables collide across nesting")
+	}
+}
+
+func TestVarNaming(t *testing.T) {
+	if varName("B1", "Price") != "b1_price" {
+		t.Errorf("varName = %s", varName("B1", "Price"))
+	}
+}
+
+func TestTranslateNegationInWhere(t *testing.T) {
+	q := mustTranslate(t, "select sum(amount) from sales where -qty < -2")
+	s := q.Components[0].Term.String()
+	if !strings.Contains(s, "(0-sales_qty)") {
+		t.Errorf("negation lowering: %s", s)
+	}
+	_ = algebra.FreeVars(q.Components[0].Term)
+}

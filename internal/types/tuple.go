@@ -1,0 +1,127 @@
+package types
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+)
+
+// Tuple is an ordered sequence of values: a table row, a map key, or the
+// argument vector of a stream event.
+type Tuple []Value
+
+// Clone returns a copy of the tuple that shares no storage with t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports element-wise strict equality (same kinds, same payloads).
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically by Value.Compare.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key is a compact, collision-free encoding of a Tuple, usable as a Go map
+// key. The runtime's view maps and the executor's hash joins key on it.
+type Key string
+
+// EncodeKey encodes a tuple into a Key. The encoding is injective: it tags
+// each value with its kind and length-prefixes strings, so distinct tuples
+// never encode to the same Key.
+func EncodeKey(t Tuple) Key {
+	if len(t) == 0 {
+		return ""
+	}
+	var b []byte
+	// Rough pre-size: 9 bytes per scalar.
+	b = make([]byte, 0, len(t)*10)
+	for _, v := range t {
+		b = append(b, byte(v.kind))
+		switch v.kind {
+		case KindInt, KindBool:
+			b = binary.LittleEndian.AppendUint64(b, uint64(v.i))
+		case KindFloat:
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.f))
+		case KindString:
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(v.s)))
+			b = append(b, v.s...)
+		}
+	}
+	return Key(string(b))
+}
+
+// DecodeKey inverts EncodeKey. It is used by snapshots and the debugger to
+// render map contents; the hot path never decodes.
+func DecodeKey(k Key) Tuple {
+	b := []byte(k)
+	var out Tuple
+	for len(b) > 0 {
+		kind := Kind(b[0])
+		b = b[1:]
+		switch kind {
+		case KindNull:
+			out = append(out, Null)
+		case KindInt:
+			out = append(out, NewInt(int64(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case KindBool:
+			out = append(out, NewBool(binary.LittleEndian.Uint64(b) != 0))
+			b = b[8:]
+		case KindFloat:
+			out = append(out, NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case KindString:
+			n := int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			out = append(out, NewString(string(b[:n])))
+			b = b[n:]
+		default:
+			return out
+		}
+	}
+	return out
+}
