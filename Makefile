@@ -1,0 +1,28 @@
+# Tier-1 verification for the DBToaster reproduction.
+#
+#   make check   — build + vet + tests (the ROADMAP.md tier-1 gate)
+#   make race    — the same tests under the race detector; required for
+#                  the concurrent sharded runtime (internal/runtime,
+#                  internal/engine, internal/server)
+#   make bench   — the EXPERIMENTS.md benchmark suite (short run)
+#   make fuzz    — a short pass over every fuzz target
+
+GO ?= go
+
+.PHONY: all check race bench fuzz
+
+all: check race
+
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 10000x .
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzShardedAgreement -fuzztime 10s ./internal/engine

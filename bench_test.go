@@ -217,6 +217,70 @@ func BenchmarkPaperPerEventType(b *testing.B) {
 	}
 }
 
+// --- Sharded runtime (DESIGN.md sharded-runtime section) ---
+
+// shardedBenchEvents builds a bounded R/S stream over a wide B domain so
+// the group-by partitions across many shard-distinct keys.
+func shardedBenchEvents(n int) []stream.Event {
+	out := make([]stream.Event, 0, n)
+	var live []stream.Event
+	for i := 0; len(out) < n; i++ {
+		if i%4 == 3 && len(live) > 200 {
+			old := live[0]
+			live = live[1:]
+			out = append(out, stream.Event{Op: stream.Delete, Relation: old.Relation, Args: old.Args})
+			continue
+		}
+		ev := stream.Event{
+			Op:       stream.Insert,
+			Relation: []string{"R", "S"}[i%2],
+			Args:     types.Tuple{types.NewInt(int64(i % 97)), types.NewInt(int64(i % 4096))},
+		}
+		live = append(live, ev)
+		out = append(out, ev)
+	}
+	for _, ev := range live {
+		out = append(out, stream.Event{Op: stream.Delete, Relation: ev.Relation, Args: ev.Args})
+	}
+	return out
+}
+
+// BenchmarkShardedToaster sweeps shard counts on a fully partitionable
+// join group-by against the single-threaded engine. The Flush barrier is
+// inside the timed region so queued work is paid for, not hidden.
+func BenchmarkShardedToaster(b *testing.B) {
+	const sql = "select R.B, sum(R.A*S.C) from R, S where R.B = S.B group by R.B"
+	events := shardedBenchEvents(12000)
+	b.Run("dbtoaster", func(b *testing.B) {
+		runStream(b, newBenchEngine(b, "dbtoaster", sql, rstCatalog()), events)
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-%d", n), func(b *testing.B) {
+			q, err := engine.Prepare(sql, rstCatalog())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh, err := engine.NewShardedToaster(q, n, runtime.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sh.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sh.OnEvent(events[i%len(events)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sh.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(sh.MemEntries()), "entries")
+		})
+	}
+}
+
 // --- Compile-time profile (§4.2) ---
 
 func BenchmarkCompile(b *testing.B) {

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"dbtoaster/internal/bakeoff"
 	"dbtoaster/internal/orderbook"
@@ -32,8 +34,23 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload generator seed")
 		ablation = flag.Bool("ablation", false, "also run interpreter/no-slice ablations")
 		sweep    = flag.Bool("sweep", false, "also print throughput-vs-stream-position series")
+		shards   = flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): run the sharded-runtime sweep and add the largest as a bakeoff contender")
 	)
 	flag.Parse()
+
+	var shardCounts []int
+	for _, f := range strings.Split(*shards, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bakeoff: bad -shards value %q\n", f)
+			os.Exit(1)
+		}
+		shardCounts = append(shardCounts, n)
+	}
 
 	type job struct {
 		name    string
@@ -67,6 +84,9 @@ func main() {
 	if *ablation {
 		engines = append(engines, "dbtoaster-interp", "dbtoaster-noslice")
 	}
+	if len(shardCounts) > 0 {
+		engines = append(engines, fmt.Sprintf("dbtoaster-sharded-%d", shardCounts[len(shardCounts)-1]))
+	}
 	for _, j := range jobs {
 		rep, err := bakeoff.Run(bakeoff.Config{
 			Name:          j.name,
@@ -94,6 +114,14 @@ func main() {
 				os.Exit(1)
 			}
 			bakeoff.PrintSweep(os.Stdout, series)
+		}
+		if len(shardCounts) > 0 {
+			rows, err := bakeoff.ShardSweep(j.sql, j.catalog, j.events, shardCounts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bakeoff:", err)
+				os.Exit(1)
+			}
+			bakeoff.PrintShardSweep(os.Stdout, j.sql, rows)
 		}
 		fmt.Println()
 	}

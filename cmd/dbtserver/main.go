@@ -27,6 +27,7 @@ func main() {
 		catName = flag.String("catalog", "", "built-in catalog: rst, orderbook, tpch")
 		tables  = flag.String("tables", "", "semicolon-separated table specs")
 		addr    = flag.String("addr", "127.0.0.1:7077", "listen address")
+		shards  = flag.Int("shards", 0, "run queries on the sharded runtime with this many shard workers (0 = single-threaded)")
 	)
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	s, err := server.New(src, cat)
+	s, err := server.NewSharded(src, cat, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtserver:", err)
 		os.Exit(1)
@@ -73,7 +74,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbtserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dbtserver: serving %q on %s\n", src, bound)
+	if *shards > 1 {
+		fmt.Printf("dbtserver: serving %q on %s (%d shards)\n", src, bound, *shards)
+	} else {
+		fmt.Printf("dbtserver: serving %q on %s\n", src, bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

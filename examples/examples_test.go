@@ -24,7 +24,7 @@ func runExample(t *testing.T, dir string) string {
 
 func TestQuickstart(t *testing.T) {
 	out := runExample(t, "quickstart")
-	if !strings.Contains(out, "ada | 160 | 2") {
+	if !strings.Contains(out, "ada      | 160  | 2") {
 		t.Errorf("quickstart answer wrong:\n%s", out)
 	}
 	if !strings.Contains(out, "on +orders") {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -72,7 +73,32 @@ func buildEngine(name string, q *engine.Query) (engine.Engine, error) {
 	case "first-order-ivm":
 		return engine.NewIVM(q), nil
 	default:
+		if rest, ok := strings.CutPrefix(name, "dbtoaster-sharded-"); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bakeoff: bad shard count in engine %q", name)
+			}
+			return engine.NewShardedToaster(q, n, runtime.Options{})
+		}
 		return nil, fmt.Errorf("bakeoff: unknown engine %q", name)
+	}
+}
+
+// finishEngine drains any queued work so measurements include it, and
+// releases worker goroutines. The returned error surfaces asynchronous
+// failures deferred until the barrier.
+func finishEngine(e engine.Engine) error {
+	if f, ok := e.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func closeEngine(e engine.Engine) {
+	if c, ok := e.(interface{ Close() error }); ok {
+		c.Close()
 	}
 }
 
@@ -130,8 +156,13 @@ func Run(cfg Config) (*Report, error) {
 		start := time.Now()
 		for _, ev := range evs {
 			if err := e.OnEvent(ev); err != nil {
+				closeEngine(e)
 				return nil, fmt.Errorf("bakeoff %s engine %s: %w", cfg.Name, name, err)
 			}
+		}
+		if err := finishEngine(e); err != nil {
+			closeEngine(e)
+			return nil, fmt.Errorf("bakeoff %s engine %s: %w", cfg.Name, name, err)
 		}
 		elapsed := time.Since(start)
 		ok := true
@@ -159,6 +190,7 @@ func Run(cfg Config) (*Report, error) {
 			ResultOK:  ok,
 			RowsFinal: rowsFinal,
 		})
+		closeEngine(e)
 	}
 	return rep, nil
 }

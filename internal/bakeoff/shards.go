@@ -1,0 +1,133 @@
+package bakeoff
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/runtime"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/stream"
+)
+
+// ShardRow is one shard count's measurement against the single-threaded
+// reference.
+type ShardRow struct {
+	Shards   int
+	Events   int
+	Elapsed  time.Duration
+	PerSec   float64
+	Speedup  float64 // vs the single-threaded compiled engine
+	MemEntry int
+	// LocalStmts / TotalStmts summarize the partition analysis: how much
+	// of the trigger program runs shard-local vs on the global worker.
+	LocalStmts int
+	TotalStmts int
+	ResultOK   bool
+}
+
+// ShardSweep measures the sharded engine across shard counts on one
+// stream, with the plain compiled engine as both the throughput baseline
+// and the answer oracle. Timings include the Flush barrier, so queued
+// batches are paid for rather than hidden.
+func ShardSweep(sqlText string, cat *schema.Catalog, events []stream.Event, counts []int) ([]ShardRow, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	q, err := engine.Prepare(sqlText, cat)
+	if err != nil {
+		return nil, err
+	}
+	base, err := engine.NewToaster(q, runtime.Options{})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, ev := range events {
+		if err := base.OnEvent(ev); err != nil {
+			return nil, fmt.Errorf("shard sweep baseline: %w", err)
+		}
+	}
+	baseElapsed := time.Since(start)
+	basePerSec := float64(len(events)) / baseElapsed.Seconds()
+	ref, err := base.Results()
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []ShardRow{{
+		Shards:   0, // 0 marks the single-threaded baseline row
+		Events:   len(events),
+		Elapsed:  baseElapsed,
+		PerSec:   basePerSec,
+		Speedup:  1,
+		MemEntry: base.MemEntries(),
+		ResultOK: true,
+	}}
+	for _, n := range counts {
+		sh, err := engine.NewShardedToaster(q, n, runtime.Options{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, ev := range events {
+			if err := sh.OnEvent(ev); err != nil {
+				sh.Close()
+				return nil, fmt.Errorf("shard sweep %d: %w", n, err)
+			}
+		}
+		if err := sh.Flush(); err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("shard sweep %d: %w", n, err)
+		}
+		elapsed := time.Since(start)
+		got, err := sh.Results()
+		if err != nil {
+			sh.Close()
+			return nil, err
+		}
+		part := sh.Runtime().Partition()
+		total := 0
+		for _, tr := range sh.Runtime().Program().Triggers {
+			total += len(tr.Stmts)
+		}
+		perSec := float64(len(events)) / elapsed.Seconds()
+		rows = append(rows, ShardRow{
+			Shards:     n,
+			Events:     len(events),
+			Elapsed:    elapsed,
+			PerSec:     perSec,
+			Speedup:    perSec / basePerSec,
+			MemEntry:   sh.MemEntries(),
+			LocalStmts: part.LocalStmts(),
+			TotalStmts: total,
+			ResultOK:   ref.Equal(got),
+		})
+		sh.Close()
+	}
+	return rows, nil
+}
+
+// PrintShardSweep renders the sweep table.
+func PrintShardSweep(w io.Writer, sqlText string, rows []ShardRow) {
+	fmt.Fprintf(w, "== shard sweep ==\nquery: %s\n", strings.Join(strings.Fields(sqlText), " "))
+	fmt.Fprintf(w, "%-14s %10s %12s %14s %8s %10s %12s %8s\n",
+		"engine", "events", "elapsed", "tuples/sec", "speedup", "entries", "local-stmts", "agree")
+	for _, r := range rows {
+		name := "dbtoaster"
+		local := ""
+		if r.Shards > 0 {
+			name = fmt.Sprintf("sharded-%d", r.Shards)
+			local = fmt.Sprintf("%d/%d", r.LocalStmts, r.TotalStmts)
+		}
+		agree := "yes"
+		if !r.ResultOK {
+			agree = "NO"
+		}
+		fmt.Fprintf(w, "%-14s %10d %12s %14.0f %7.2fx %10d %12s %8s\n",
+			name, r.Events, r.Elapsed.Round(time.Microsecond), r.PerSec,
+			r.Speedup, r.MemEntry, local, agree)
+	}
+}

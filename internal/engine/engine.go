@@ -46,18 +46,46 @@ type Result struct {
 	Rows    []types.Tuple
 }
 
-// String renders the result as an aligned table.
+// String renders the result as an aligned table: every cell is padded to
+// its column's width, so values line up under their headers.
 func (r *Result) String() string {
-	var b strings.Builder
-	b.WriteString(strings.Join(r.Columns, " | "))
-	b.WriteByte('\n')
-	for _, row := range r.Rows {
-		parts := make([]string, len(row))
+	width := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		width[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
 		for i, v := range row {
-			parts[i] = v.String()
+			s := v.String()
+			cells[ri][i] = s
+			if i < len(width) && len(s) > width[i] {
+				width[i] = len(s)
+			}
 		}
-		b.WriteString(strings.Join(parts, " | "))
+	}
+	var b strings.Builder
+	writeRow := func(parts []string) {
+		for i, s := range parts {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(s)
+			if i < len(parts)-1 {
+				w := 0
+				if i < len(width) {
+					w = width[i]
+				}
+				for pad := len(s); pad < w; pad++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
 		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range cells {
+		writeRow(row)
 	}
 	return b.String()
 }

@@ -15,6 +15,7 @@ import (
 // join side) are maintained once and each event runs one merged trigger.
 type MultiToaster struct {
 	viewReader
+	rt       *runtime.Engine
 	queries  []*Query
 	compiled *compiler.MultiCompiled
 }
@@ -43,7 +44,8 @@ func NewToasterMulti(queries []*Query, opts runtime.Options) (*MultiToaster, err
 		return nil, err
 	}
 	m := &MultiToaster{
-		viewReader: viewReader{rt: rt, byQuery: map[*translate.Query]*compiler.QueryInfo{}},
+		viewReader: viewReader{view: engineViews(rt), byQuery: map[*translate.Query]*compiler.QueryInfo{}},
+		rt:         rt,
 		queries:    queries,
 		compiled:   mc,
 	}

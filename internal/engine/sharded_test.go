@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbtoaster/internal/runtime"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/types"
+)
+
+// shardCounts is the sweep the differential tests exercise: degenerate
+// single shard, small, and larger-than-core counts.
+var shardCounts = []int{1, 2, 8}
+
+// TestShardedDifferentialProperty is the sharded runtime's correctness
+// net: ≥100 random query/stream pairs (reusing the random-query
+// generator from fuzz_test.go) driven through Toaster, Naive,
+// FirstOrderIVM, and ShardedToaster at shard counts 1, 2, and 8, with
+// delete-heavy and update (delete/insert pair) phases, requiring exact
+// Result agreement mid-stream and at the end.
+func TestShardedDifferentialProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const pairs = 100
+	for trial := 0; trial < pairs; trial++ {
+		r := rand.New(rand.NewSource(int64(4000 + trial)))
+		cat, src := randomQuery(r)
+		t.Run(fmt.Sprintf("pair%d", trial), func(t *testing.T) {
+			q, err := Prepare(src, cat)
+			if err != nil {
+				t.Fatalf("prepare %q: %v", src, err)
+			}
+			toaster, err := NewToaster(q, runtime.Options{})
+			if err != nil {
+				t.Fatalf("toaster %q: %v", src, err)
+			}
+			engines := []Engine{toaster, NewNaive(q), NewIVM(q)}
+			for _, n := range shardCounts {
+				sh, err := NewShardedToaster(q, n, runtime.Options{})
+				if err != nil {
+					t.Fatalf("sharded-%d %q: %v", n, src, err)
+				}
+				defer sh.Close()
+				engines = append(engines, sh)
+			}
+
+			feed := func(ev stream.Event) {
+				for _, e := range engines {
+					if err := e.OnEvent(ev); err != nil {
+						t.Fatalf("%q: %s OnEvent(%s): %v", src, e.Name(), ev, err)
+					}
+				}
+			}
+			randTuple := func() types.Tuple {
+				return types.Tuple{types.NewInt(int64(r.Intn(5))), types.NewInt(int64(r.Intn(5)))}
+			}
+			relOf := func() string { return fmt.Sprintf("F%d", r.Intn(3)) }
+
+			var live []stream.Event
+			// Phase 1: insert-leaning mixed stream.
+			for i := 0; i < 60; i++ {
+				if len(live) > 0 && r.Intn(4) == 0 {
+					idx := r.Intn(len(live))
+					old := live[idx]
+					live = append(live[:idx], live[idx+1:]...)
+					feed(stream.Event{Op: stream.Delete, Relation: old.Relation, Args: old.Args})
+				} else {
+					ev := stream.Event{Op: stream.Insert, Relation: relOf(), Args: randTuple()}
+					live = append(live, ev)
+					feed(ev)
+				}
+			}
+			requireAgreement(t, engines, src+" after inserts")
+			// Phase 2: update workload — in-place tuple updates expand to
+			// delete/insert pairs via stream.Update.
+			for i := 0; i < 30 && len(live) > 0; i++ {
+				idx := r.Intn(len(live))
+				old := live[idx]
+				pair := stream.Update(old.Relation, old.Args, randTuple())
+				live[idx] = stream.Event{Op: stream.Insert, Relation: old.Relation, Args: pair[1].Args}
+				feed(pair[0])
+				feed(pair[1])
+			}
+			requireAgreement(t, engines, src+" after updates")
+			// Phase 3: delete-heavy drain.
+			for len(live) > 0 {
+				idx := r.Intn(len(live))
+				old := live[idx]
+				live = append(live[:idx], live[idx+1:]...)
+				feed(stream.Event{Op: stream.Delete, Relation: old.Relation, Args: old.Args})
+			}
+			requireAgreement(t, engines, src+" after drain")
+		})
+	}
+}
+
+func TestShardedToasterDirect(t *testing.T) {
+	q, err := Prepare("select B, sum(A) from R group by B", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShardedToaster(q, 4, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Name() != "dbtoaster-sharded-4" {
+		t.Errorf("name = %q", sh.Name())
+	}
+	if sh.Compiled() == nil || sh.Runtime() == nil {
+		t.Error("accessors broken")
+	}
+	if got := len(sh.Runtime().Partition().MapPos); got == 0 {
+		t.Error("group-by query should shard its maps")
+	}
+	for i := 0; i < 100; i++ {
+		if err := sh.OnEvent(stream.Ins("R", types.NewInt(int64(i)), types.NewInt(int64(i%7)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sh.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Errorf("rows = %d, want 7\n%s", len(res.Rows), res)
+	}
+	if sh.MemEntries() == 0 {
+		t.Error("no entries after inserts")
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultStringAlignsColumns(t *testing.T) {
+	res := &Result{
+		Columns: []string{"region", "s", "long_column"},
+		Rows: []types.Tuple{
+			{types.NewString("east"), types.NewInt(1234567), types.NewInt(1)},
+			{types.NewString("w"), types.NewInt(3), types.NewInt(42)},
+		},
+	}
+	got := res.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d\n%s", len(lines), got)
+	}
+	// Every separator must sit at the same byte offset in every line.
+	idx := func(s string) []int {
+		var out []int
+		for i := 0; i+2 < len(s); i++ {
+			if s[i:i+3] == " | " {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	ref := idx(lines[0])
+	if len(ref) != 2 {
+		t.Fatalf("header separators = %v\n%s", ref, got)
+	}
+	for _, ln := range lines[1:] {
+		cur := idx(ln)
+		if len(cur) != len(ref) {
+			t.Fatalf("separator count mismatch: %v vs %v\n%s", cur, ref, got)
+		}
+		for i := range ref {
+			if cur[i] != ref[i] {
+				t.Errorf("misaligned column %d: offset %d vs %d\n%s", i, cur[i], ref[i], got)
+			}
+		}
+	}
+	// Cells wider than their header stretch the column.
+	if !strings.Contains(lines[0], "region | s       | long_column") {
+		t.Errorf("header = %q", lines[0])
+	}
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"testing"
+
+	"dbtoaster/internal/runtime"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/types"
+)
+
+// shardFuzzQueries spans the partition-analysis outcomes: fully sharded,
+// mixed local/global (min over a sorted map), and fully global (scalar).
+var shardFuzzQueries = []string{
+	"select B, sum(A) from R group by B",
+	"select R.B, sum(R.A*S.C) from R, S where R.B = S.B group by R.B",
+	"select S.C, sum(R.A) from R, S where R.B = S.B group by S.C",
+	"select sum(A*D) from R, S, T where R.B = S.B and S.C = T.C",
+	"select B, min(A), count(*) from R group by B",
+}
+
+// FuzzShardedAgreement fuzzes the event order, event mix, and shard count
+// of a ShardedToaster and requires exact Result agreement with a
+// single-threaded Toaster oracle on the same stream.
+//
+// Input layout: byte 0 → shard count (1..8), byte 1 → query index, then
+// 3 bytes per event: [op/relation selector, column values...]. An odd
+// selector deletes a previously inserted tuple (chosen by the same byte),
+// keeping streams well-formed so every engine sees valid deltas.
+func FuzzShardedAgreement(f *testing.F) {
+	f.Add([]byte{2, 0, 0, 1, 2, 0, 3, 4, 1, 1, 2})
+	f.Add([]byte{8, 1, 0, 1, 1, 2, 1, 1, 4, 2, 2, 6, 3, 3})
+	f.Add([]byte{1, 3, 0, 0, 0, 2, 1, 1, 4, 2, 2, 3, 0, 0, 5, 1, 2})
+	f.Add([]byte{5, 4, 0, 2, 2, 1, 2, 2, 0, 2, 2, 3, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		shards := 1 + int(data[0])%8
+		src := shardFuzzQueries[int(data[1])%len(shardFuzzQueries)]
+		data = data[2:]
+
+		q, err := Prepare(src, testCatalog())
+		if err != nil {
+			t.Fatalf("prepare %q: %v", src, err)
+		}
+		oracle, err := NewToaster(q, runtime.Options{})
+		if err != nil {
+			t.Fatalf("toaster: %v", err)
+		}
+		sh, err := NewShardedToaster(q, shards, runtime.Options{})
+		if err != nil {
+			t.Fatalf("sharded-%d: %v", shards, err)
+		}
+		defer sh.Close()
+
+		rels := []string{"R", "S", "T"}
+		var history []stream.Event
+		for len(data) >= 3 {
+			sel, a, b := data[0], data[1], data[2]
+			data = data[3:]
+			var ev stream.Event
+			if sel%2 == 1 && len(history) > 0 {
+				old := history[int(sel)%len(history)]
+				ev = stream.Event{Op: stream.Delete, Relation: old.Relation, Args: old.Args}
+			} else {
+				ev = stream.Event{Op: stream.Insert, Relation: rels[int(sel/2)%3], Args: types.Tuple{
+					types.NewInt(int64(a % 8)), types.NewInt(int64(b % 8)),
+				}}
+				history = append(history, ev)
+			}
+			if err := oracle.OnEvent(ev); err != nil {
+				t.Fatalf("oracle OnEvent(%s): %v", ev, err)
+			}
+			if err := sh.OnEvent(ev); err != nil {
+				t.Fatalf("sharded OnEvent(%s): %v", ev, err)
+			}
+		}
+		want, err := oracle.Results()
+		if err != nil {
+			t.Fatalf("oracle results: %v", err)
+		}
+		got, err := sh.Results()
+		if err != nil {
+			t.Fatalf("sharded results: %v", err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("%q with %d shards disagrees with oracle\nwant:\n%s\ngot:\n%s", src, shards, want, got)
+		}
+	})
+}

@@ -8,20 +8,36 @@ import (
 	"dbtoaster/internal/runtime"
 	"dbtoaster/internal/stream"
 	"dbtoaster/internal/translate"
+	"dbtoaster/internal/treap"
 	"dbtoaster/internal/types"
 )
 
-// viewReader resolves component values and group enumerations from a
-// runtime engine plus the query→info directory; it backs both the single-
-// query Toaster and the shared-program MultiToaster.
+// mapView is the read surface result assembly needs from a view map. A
+// *runtime.Map satisfies it directly; the sharded engine satisfies it
+// with a merged view over per-shard storage.
+type mapView interface {
+	Get(key types.Tuple) float64
+	Scan(f func(types.Tuple, float64))
+	Tree() *treap.Tree
+}
+
+// viewReader resolves component values and group enumerations from a map
+// view accessor plus the query→info directory; it backs the single-query
+// Toaster, the shared-program MultiToaster, and the ShardedToaster.
 type viewReader struct {
-	rt      *runtime.Engine
+	view    func(name string) mapView
 	byQuery map[*translate.Query]*compiler.QueryInfo
+}
+
+// engineViews adapts a single runtime engine to the view accessor.
+func engineViews(rt *runtime.Engine) func(string) mapView {
+	return func(name string) mapView { return rt.Map(name) }
 }
 
 // Toaster is the paper's engine: recursively compiled triggers over maps.
 type Toaster struct {
 	viewReader
+	rt       *runtime.Engine
 	q        *Query
 	compiled *compiler.Compiled
 	name     string
@@ -38,7 +54,8 @@ func NewToaster(q *Query, opts runtime.Options) (*Toaster, error) {
 		return nil, err
 	}
 	t := &Toaster{
-		viewReader: viewReader{rt: rt, byQuery: map[*translate.Query]*compiler.QueryInfo{}},
+		viewReader: viewReader{view: engineViews(rt), byQuery: map[*translate.Query]*compiler.QueryInfo{}},
+		rt:         rt,
 		q:          q,
 		compiled:   comp,
 	}
@@ -101,7 +118,7 @@ func (t *viewReader) groups(q *translate.Query) ([]types.Tuple, error) {
 	}
 	info := t.byQuery[q]
 	ci := info.Comps[q.ExistsIdx]
-	m := t.rt.Map(ci.MapName)
+	m := t.view(ci.MapName)
 	seen := map[types.Key]types.Tuple{}
 	m.Scan(func(tp types.Tuple, _ float64) {
 		g := make(types.Tuple, len(ci.GroupPos))
@@ -128,7 +145,7 @@ func (t *viewReader) groups(q *translate.Query) ([]types.Tuple, error) {
 func (t *viewReader) compValue(q *translate.Query, idx int, group types.Tuple) (types.Value, error) {
 	info := t.byQuery[q]
 	ci := info.Comps[idx]
-	m := t.rt.Map(ci.MapName)
+	m := t.view(ci.MapName)
 	kind := q.Components[idx].Kind
 	switch {
 	case ci.Threshold != nil:
@@ -163,7 +180,7 @@ func (t *viewReader) compValue(q *translate.Query, idx int, group types.Tuple) (
 // aggregate: Σ entries whose measure key compares against the subquery's
 // current value.
 func (t *viewReader) thresholdValue(q *translate.Query, ci compiler.CompInfo, group types.Tuple) (types.Value, error) {
-	m := t.rt.Map(ci.MapName)
+	m := t.view(ci.MapName)
 	tree := m.Tree()
 	if tree == nil {
 		return types.Null, fmt.Errorf("engine: threshold map %s lacks sorted mirror", ci.MapName)

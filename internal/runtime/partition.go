@@ -1,0 +1,371 @@
+package runtime
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/ir"
+	"dbtoaster/internal/types"
+)
+
+// Partition describes how a trigger program distributes across shard
+// workers. Incremental programs partition naturally by group key: when
+// every access a statement makes — its target key, its loop bounds, its
+// lookups — pins the same key position of every touched map to one trigger
+// parameter, the statement only ever reads and writes entries whose
+// partition value equals that parameter. Routing the event by a hash of
+// the parameter then keeps all of the statement's work inside one shard.
+//
+// Maps that cannot be pinned this way (scalar maps, sorted mirrors, maps
+// reached through loops over free partition positions) are "global": they
+// live in a single serialized shard, along with every statement that
+// touches them.
+type Partition struct {
+	// MapPos gives, for each sharded map, the key position holding the
+	// partition value. Maps absent from MapPos are global.
+	MapPos map[string]int
+	// RelParam gives, for each relation (lower-cased) with at least one
+	// shard-local statement, the trigger parameter index events are
+	// routed by.
+	RelParam map[string]int
+
+	local map[*ir.Stmt]bool
+}
+
+// StmtLocal reports whether a statement executes shard-locally.
+func (p *Partition) StmtLocal(s *ir.Stmt) bool { return p.local[s] }
+
+// LocalStmts counts shard-local statements across the program.
+func (p *Partition) LocalStmts() int {
+	n := 0
+	for _, ok := range p.local {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardedMaps lists the sharded map names in sorted order.
+func (p *Partition) ShardedMaps() []string {
+	out := make([]string, 0, len(p.MapPos))
+	for name := range p.MapPos {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PartitionHash hashes one partition value. Values that compare Equal
+// under SQL numeric coercion (int 3, float 3.0) hash identically, so
+// entries an event's statements can reach always live in the event's
+// shard regardless of column-type mixing across relations.
+func PartitionHash(v types.Value) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	switch v.Kind() {
+	case types.KindNull:
+		return 0
+	case types.KindString:
+		for i := 0; i < len(v.Str()); i++ {
+			h ^= uint32(v.Str()[i])
+			h *= prime32
+		}
+		return h
+	default:
+		bits := math.Float64bits(v.Float())
+		for i := 0; i < 8; i++ {
+			h ^= uint32(bits >> (8 * i) & 0xff)
+			h *= prime32
+		}
+		return h
+	}
+}
+
+// maxAssignments caps the brute-force search over per-relation routing
+// parameters; beyond it only uniform assignments are tried.
+const maxAssignments = 20000
+
+// PartitionProgram analyzes a compiled trigger program and returns the
+// partitioning that maximizes the number of shard-local statements. The
+// result is always usable: when nothing partitions, MapPos is empty and
+// every statement is global.
+func PartitionProgram(prog *ir.Program) *Partition {
+	// Distinct relations, in trigger order, with their parameter counts.
+	type relInfo struct {
+		name   string
+		params int
+	}
+	var rels []relInfo
+	relIdx := map[string]int{}
+	for _, t := range prog.Triggers {
+		key := strings.ToLower(t.Relation)
+		if _, ok := relIdx[key]; !ok {
+			relIdx[key] = len(rels)
+			rels = append(rels, relInfo{name: key, params: len(t.Params)})
+		}
+	}
+
+	best := evaluateAssignment(prog, relIdx, nil) // all-global baseline
+	bestScore := best.LocalStmts()
+
+	try := func(assign []int) {
+		p := evaluateAssignment(prog, relIdx, assign)
+		if s := p.LocalStmts(); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+
+	combos := 1
+	for _, r := range rels {
+		combos *= r.params + 1
+		if combos > maxAssignments {
+			break
+		}
+	}
+	if combos <= maxAssignments {
+		assign := make([]int, len(rels))
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(rels) {
+				try(assign)
+				return
+			}
+			for p := -1; p < rels[i].params; p++ {
+				assign[i] = p
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	} else {
+		// Too many combinations: try only uniform parameter positions.
+		maxParams := 0
+		for _, r := range rels {
+			if r.params > maxParams {
+				maxParams = r.params
+			}
+		}
+		assign := make([]int, len(rels))
+		for p := 0; p < maxParams; p++ {
+			for i, r := range rels {
+				if p < r.params {
+					assign[i] = p
+				} else {
+					assign[i] = -1
+				}
+			}
+			try(assign)
+		}
+	}
+	return best
+}
+
+// evaluateAssignment classifies maps and statements for one choice of
+// per-relation routing parameters (-1 = relation not routed). It runs the
+// demotion fixed point: a statement is local only while every map it
+// touches can be pinned at a position consistent with every other local
+// statement; maps touched by a global statement become global themselves.
+func evaluateAssignment(prog *ir.Program, relIdx map[string]int, assign []int) *Partition {
+	feas := map[string]uint64{} // candidate position bitmask per map
+	global := map[string]bool{}
+	for name, d := range prog.Maps {
+		if d.Arity() == 0 || d.Sorted || d.Arity() > 64 {
+			global[name] = true
+			continue
+		}
+		feas[name] = 1<<uint(d.Arity()) - 1
+	}
+	local := map[*ir.Stmt]bool{}
+	for _, t := range prog.Triggers {
+		for _, s := range t.Stmts {
+			local[s] = true
+		}
+	}
+
+	demote := func(s *ir.Stmt, touched map[string]uint64) {
+		local[s] = false
+		for m := range touched {
+			if !global[m] {
+				global[m] = true
+				delete(feas, m)
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, t := range prog.Triggers {
+			param := -1
+			if assign != nil {
+				param = assign[relIdx[strings.ToLower(t.Relation)]]
+			}
+			for _, s := range t.Stmts {
+				if !local[s] {
+					continue
+				}
+				if param < 0 || param >= len(t.Params) {
+					demote(s, stmtConstraints(s, nil))
+					changed = true
+					continue
+				}
+				pe := map[algebra.Var]bool{t.Params[param]: true}
+				for _, lt := range s.Lets {
+					if vr, ok := lt.Expr.(*ir.VarRef); ok && pe[vr.Name] {
+						pe[lt.Var] = true
+					}
+				}
+				allowed := stmtConstraints(s, pe)
+				bad := false
+				for m, mask := range allowed {
+					if global[m] || feas[m]&mask == 0 {
+						bad = true
+						break
+					}
+				}
+				if bad {
+					demote(s, allowed)
+					changed = true
+					continue
+				}
+				for m, mask := range allowed {
+					if feas[m]&mask != feas[m] {
+						feas[m] &= mask
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	p := &Partition{MapPos: map[string]int{}, RelParam: map[string]int{}, local: local}
+	// Only maps actually reached by a local statement are worth sharding;
+	// everything else stays global (it has no shard-local traffic).
+	touchedLocal := map[string]bool{}
+	for _, t := range prog.Triggers {
+		for _, s := range t.Stmts {
+			if !local[s] {
+				continue
+			}
+			for m := range stmtConstraints(s, nil) {
+				touchedLocal[m] = true
+			}
+			p.RelParam[strings.ToLower(t.Relation)] = assign[relIdx[strings.ToLower(t.Relation)]]
+		}
+	}
+	for m, mask := range feas {
+		if !touchedLocal[m] {
+			continue
+		}
+		for pos := 0; pos < 64; pos++ {
+			if mask&(1<<uint(pos)) != 0 {
+				p.MapPos[m] = pos
+				break
+			}
+		}
+	}
+	return p
+}
+
+// stmtConstraints returns, for every map the statement touches, the mask
+// of key positions that every access pins to a partition-equal variable.
+// With pe == nil it degenerates to the touched-map set (mask 0).
+func stmtConstraints(s *ir.Stmt, pe map[algebra.Var]bool) map[string]uint64 {
+	allowed := map[string]uint64{}
+	constrain := func(m string, mask uint64) {
+		if prev, ok := allowed[m]; ok {
+			allowed[m] = prev & mask
+		} else {
+			allowed[m] = mask
+		}
+	}
+	var walk func(e ir.Expr)
+	walk = func(e ir.Expr) {
+		switch e := e.(type) {
+		case *ir.Lookup:
+			constrain(e.Map, keyMask(e.Keys, pe))
+			for _, k := range e.Keys {
+				walk(k)
+			}
+		case *ir.Arith:
+			walk(e.L)
+			walk(e.R)
+		case *ir.CmpE:
+			walk(e.L)
+			walk(e.R)
+		}
+	}
+	constrain(s.Target, keyMask(s.Keys, pe))
+	for _, k := range s.Keys {
+		walk(k)
+	}
+	for _, lp := range s.Loops {
+		constrain(lp.Map, keyMask(lp.Bound, pe))
+		for _, b := range lp.Bound {
+			if b != nil {
+				walk(b)
+			}
+		}
+	}
+	for _, lt := range s.Lets {
+		walk(lt.Expr)
+	}
+	if s.Cond != nil {
+		walk(s.Cond)
+	}
+	walk(s.Delta)
+	return allowed
+}
+
+// keyMask marks the positions whose expression is a direct reference to a
+// partition-equal variable.
+func keyMask(keys []ir.Expr, pe map[algebra.Var]bool) uint64 {
+	var mask uint64
+	for i, k := range keys {
+		if i >= 64 {
+			break
+		}
+		if vr, ok := k.(*ir.VarRef); ok && pe != nil && pe[vr.Name] {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// splitProgram builds the per-class trigger programs: shard workers run
+// the local statements, the global worker runs the rest. Map declarations
+// are shared; statement order within each class preserves the original
+// pre-state-read ordering.
+func (p *Partition) splitProgram(prog *ir.Program) (local, global *ir.Program) {
+	mk := func(keep func(*ir.Stmt) bool) *ir.Program {
+		out := &ir.Program{
+			QueryName: prog.QueryName,
+			SQL:       prog.SQL,
+			Maps:      prog.Maps,
+			MapOrder:  prog.MapOrder,
+		}
+		for _, t := range prog.Triggers {
+			var stmts []*ir.Stmt
+			for _, s := range t.Stmts {
+				if keep(s) {
+					stmts = append(stmts, s)
+				}
+			}
+			if len(stmts) > 0 {
+				out.Triggers = append(out.Triggers, &ir.Trigger{
+					Relation: t.Relation,
+					Insert:   t.Insert,
+					Params:   t.Params,
+					Stmts:    stmts,
+				})
+			}
+		}
+		return out
+	}
+	return mk(func(s *ir.Stmt) bool { return p.local[s] }),
+		mk(func(s *ir.Stmt) bool { return !p.local[s] })
+}

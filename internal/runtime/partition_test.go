@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"testing"
+
+	"dbtoaster/internal/ir"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+// compileProg compiles a query over the shared R/S/T + sales test schema
+// into its trigger program.
+func compileProg(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	cat := schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("S", "B:int", "C:int"),
+		schema.NewRelation("T", "C:int", "D:int"),
+		schema.NewRelation("sales", "region:string", "amount:int", "qty:int"),
+	)
+	return compileSQL(t, cat, src).Program
+}
+
+func TestPartitionGroupBySingleRelation(t *testing.T) {
+	prog := compileProg(t, "select B, sum(A) from R group by B")
+	p := PartitionProgram(prog)
+	if len(p.MapPos) != len(prog.Maps) {
+		t.Errorf("expected every map sharded, got %v of %d maps", p.ShardedMaps(), len(prog.Maps))
+	}
+	for name, pos := range p.MapPos {
+		if pos != 0 {
+			t.Errorf("map %s partitioned at %d, want 0", name, pos)
+		}
+	}
+	if got, want := p.RelParam["r"], 1; got != want {
+		t.Errorf("R routed by param %d, want %d (the B column)", got, want)
+	}
+	total := 0
+	for _, tr := range prog.Triggers {
+		total += len(tr.Stmts)
+	}
+	if p.LocalStmts() != total {
+		t.Errorf("local stmts = %d, want all %d", p.LocalStmts(), total)
+	}
+}
+
+func TestPartitionJoinOnGroupKey(t *testing.T) {
+	// Every map is keyed by the shared join/group column B; every
+	// statement pins it to a trigger parameter — fully shard-local.
+	prog := compileProg(t, "select R.B, sum(R.A*S.C) from R, S where R.B=S.B group by R.B")
+	p := PartitionProgram(prog)
+	if len(p.MapPos) != len(prog.Maps) {
+		t.Errorf("expected every map sharded, got %v of %d", p.ShardedMaps(), len(prog.Maps))
+	}
+	if p.RelParam["r"] != 1 || p.RelParam["s"] != 0 {
+		t.Errorf("routing params = %v, want r:1 s:0", p.RelParam)
+	}
+}
+
+func TestPartitionScalarResultFallsBackGlobal(t *testing.T) {
+	// A scalar (no GROUP BY) result map cannot partition; demotion
+	// cascades through the statements that touch it.
+	prog := compileProg(t, "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C")
+	p := PartitionProgram(prog)
+	if _, ok := p.MapPos["q"]; ok {
+		t.Errorf("scalar result map q must be global")
+	}
+	for _, tr := range prog.Triggers {
+		for _, s := range tr.Stmts {
+			if s.Target == "q" && p.StmtLocal(s) {
+				t.Errorf("statement targeting scalar q marked local: %s", s)
+			}
+		}
+	}
+}
+
+func TestPartitionSortedMapStaysGlobal(t *testing.T) {
+	prog := compileProg(t, "select region, min(amount) from sales group by region")
+	p := PartitionProgram(prog)
+	for name, d := range prog.Maps {
+		if d.Sorted {
+			if _, ok := p.MapPos[name]; ok {
+				t.Errorf("sorted map %s must stay global", name)
+			}
+		}
+	}
+	// The plain support-count map is still shardable even though its
+	// sibling sorted map is global: the triggers mix local and global
+	// statements.
+	if len(p.MapPos) == 0 {
+		t.Errorf("expected the unsorted count map to shard, got none (maps %v)", prog.MapOrder)
+	}
+}
+
+func TestPartitionLoopOverFreeGroupVarIsGlobal(t *testing.T) {
+	// GROUP BY S.C: the R-triggers loop "foreach (k0) in m1[@r_b,k0]"
+	// and write q_c0[k0] — the target partition value is a loop variable,
+	// not the routed parameter, so those maps demote to global.
+	prog := compileProg(t, "select S.C, sum(R.A) from R, S where R.B = S.B group by S.C")
+	p := PartitionProgram(prog)
+	for _, tr := range prog.Triggers {
+		for _, s := range tr.Stmts {
+			if len(s.Loops) > 0 && p.StmtLocal(s) {
+				t.Errorf("loop-over-free-group statement marked local: %s", s)
+			}
+		}
+	}
+}
+
+func TestPartitionHashCoercesNumerics(t *testing.T) {
+	if PartitionHash(types.NewInt(3)) != PartitionHash(types.NewFloat(3)) {
+		t.Errorf("int 3 and float 3.0 must hash identically")
+	}
+	if PartitionHash(types.NewString("x")) == PartitionHash(types.NewString("y")) {
+		t.Errorf("distinct strings should (almost surely) hash differently")
+	}
+}
+
+func TestSplitProgramPreservesStatementOrder(t *testing.T) {
+	prog := compileProg(t, "select region, min(amount), sum(amount) from sales group by region")
+	p := PartitionProgram(prog)
+	local, global := p.splitProgram(prog)
+	count := func(pr *ir.Program) int {
+		n := 0
+		for _, tr := range pr.Triggers {
+			n += len(tr.Stmts)
+		}
+		return n
+	}
+	total := count(local) + count(global)
+	want := 0
+	for _, tr := range prog.Triggers {
+		want += len(tr.Stmts)
+	}
+	if total != want {
+		t.Fatalf("split lost statements: %d + %d != %d", count(local), count(global), want)
+	}
+	for _, tr := range local.Triggers {
+		for _, s := range tr.Stmts {
+			if !p.StmtLocal(s) {
+				t.Errorf("global statement in local program: %s", s)
+			}
+		}
+	}
+	for _, tr := range global.Triggers {
+		for _, s := range tr.Stmts {
+			if p.StmtLocal(s) {
+				t.Errorf("local statement in global program: %s", s)
+			}
+		}
+	}
+}

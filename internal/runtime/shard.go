@@ -1,0 +1,279 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dbtoaster/internal/ir"
+	"dbtoaster/internal/types"
+)
+
+// ShardOptions configures a ShardedEngine.
+type ShardOptions struct {
+	// Shards is the number of parallel shard workers (default 1).
+	Shards int
+	// Batch is the dispatcher's batch size: consecutive events routed to
+	// the same shard are grouped into one hand-off (default 64).
+	Batch int
+	// Queue is the per-worker channel depth, in batches (default 4).
+	Queue int
+	// Base configures each worker's underlying engine.
+	Base Options
+}
+
+type shardEvent struct {
+	rel    string
+	insert bool
+	args   types.Tuple
+}
+
+// ShardedEngine executes one compiled trigger program across N shard
+// workers plus one serialized global worker. Map entries partition by a
+// hash of the partition key position PartitionProgram selects; events
+// route by the matching trigger parameter. Statements the partition
+// analysis cannot prove shard-local run on the global worker against
+// global map storage.
+//
+// The producer side (OnEvent, Flush, Close, Results-style readers) must
+// be driven from a single goroutine, like Engine. Reading maps is only
+// consistent after Flush.
+type ShardedEngine struct {
+	prog *ir.Program
+	part *Partition
+	n    int
+	bsz  int
+
+	shards []*Engine
+	global *Engine
+
+	shardCh  []chan []shardEvent
+	globalCh chan []shardEvent
+	pend     [][]shardEvent
+	gpend    []shardEvent
+
+	hasLocal  map[string]bool
+	hasGlobal map[string]bool
+	relParam  map[string]int
+
+	inflight sync.WaitGroup // outstanding batches
+	workers  sync.WaitGroup // live worker goroutines
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+
+	events uint64
+}
+
+// NewShardedEngine partitions the program and starts the workers.
+func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, error) {
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	bsz := opts.Batch
+	if bsz < 1 {
+		bsz = 64
+	}
+	queue := opts.Queue
+	if queue < 1 {
+		queue = 4
+	}
+	part := PartitionProgram(prog)
+	localProg, globalProg := part.splitProgram(prog)
+
+	s := &ShardedEngine{
+		prog:      prog,
+		part:      part,
+		n:         n,
+		bsz:       bsz,
+		shardCh:   make([]chan []shardEvent, n),
+		pend:      make([][]shardEvent, n),
+		hasLocal:  map[string]bool{},
+		hasGlobal: map[string]bool{},
+		relParam:  part.RelParam,
+	}
+	for _, t := range prog.Triggers {
+		key := triggerKey(t.Relation, t.Insert)
+		for _, st := range t.Stmts {
+			if part.StmtLocal(st) {
+				s.hasLocal[key] = true
+			} else {
+				s.hasGlobal[key] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		e, err := NewEngine(localProg, opts.Base)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, e)
+		s.shardCh[i] = make(chan []shardEvent, queue)
+		s.pend[i] = make([]shardEvent, 0, bsz)
+	}
+	var err error
+	s.global, err = NewEngine(globalProg, opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	s.globalCh = make(chan []shardEvent, queue)
+	s.gpend = make([]shardEvent, 0, bsz)
+
+	for i := 0; i < n; i++ {
+		s.workers.Add(1)
+		go s.worker(s.shards[i], s.shardCh[i])
+	}
+	s.workers.Add(1)
+	go s.worker(s.global, s.globalCh)
+	return s, nil
+}
+
+func (s *ShardedEngine) worker(e *Engine, ch chan []shardEvent) {
+	defer s.workers.Done()
+	for batch := range ch {
+		for _, ev := range batch {
+			if err := e.OnEvent(ev.rel, ev.insert, ev.args); err != nil {
+				s.setErr(err)
+				break
+			}
+		}
+		s.inflight.Done()
+	}
+}
+
+func (s *ShardedEngine) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first worker error, if any.
+func (s *ShardedEngine) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Program returns the engine's program.
+func (s *ShardedEngine) Program() *ir.Program { return s.prog }
+
+// Partition returns the partitioning in effect.
+func (s *ShardedEngine) Partition() *Partition { return s.part }
+
+// NumShards returns the shard-worker count.
+func (s *ShardedEngine) NumShards() int { return s.n }
+
+// ShardMap returns shard i's storage for a map.
+func (s *ShardedEngine) ShardMap(i int, name string) *Map { return s.shards[i].Map(name) }
+
+// GlobalMap returns the global worker's storage for a map.
+func (s *ShardedEngine) GlobalMap(name string) *Map { return s.global.Map(name) }
+
+// Events returns the number of accepted events.
+func (s *ShardedEngine) Events() uint64 { return s.events }
+
+// OnEvent routes one delta. The event is enqueued, not yet applied: its
+// local statements go to the shard owning the partition value, its global
+// statements to the global worker. Args must not be mutated afterwards.
+func (s *ShardedEngine) OnEvent(rel string, insert bool, args types.Tuple) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("runtime: sharded engine is closed")
+	}
+	s.events++
+	key := triggerKey(rel, insert)
+	ev := shardEvent{rel: rel, insert: insert, args: args}
+	if s.hasLocal[key] {
+		p, ok := s.relParam[strings.ToLower(rel)]
+		if !ok || p >= len(args) {
+			return fmt.Errorf("runtime: no routing parameter for relation %s", rel)
+		}
+		sh := int(PartitionHash(args[p]) % uint32(s.n))
+		s.pend[sh] = append(s.pend[sh], ev)
+		if len(s.pend[sh]) >= s.bsz {
+			s.dispatchShard(sh)
+		}
+	}
+	if s.hasGlobal[key] {
+		s.gpend = append(s.gpend, ev)
+		if len(s.gpend) >= s.bsz {
+			s.dispatchGlobal()
+		}
+	}
+	return nil
+}
+
+func (s *ShardedEngine) dispatchShard(i int) {
+	s.inflight.Add(1)
+	s.shardCh[i] <- s.pend[i]
+	s.pend[i] = make([]shardEvent, 0, s.bsz)
+}
+
+func (s *ShardedEngine) dispatchGlobal() {
+	s.inflight.Add(1)
+	s.globalCh <- s.gpend
+	s.gpend = make([]shardEvent, 0, s.bsz)
+}
+
+// Flush dispatches every pending batch and blocks until all workers are
+// idle, establishing the barrier readers need for a consistent view.
+func (s *ShardedEngine) Flush() error {
+	for i := range s.pend {
+		if len(s.pend[i]) > 0 {
+			s.dispatchShard(i)
+		}
+	}
+	if len(s.gpend) > 0 {
+		s.dispatchGlobal()
+	}
+	s.inflight.Wait()
+	return s.Err()
+}
+
+// Close flushes, stops the workers, and waits for them to exit. It is
+// idempotent.
+func (s *ShardedEngine) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.Err()
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.Flush()
+	for _, ch := range s.shardCh {
+		close(ch)
+	}
+	close(s.globalCh)
+	s.workers.Wait()
+	return err
+}
+
+// MemStats reports per-map footprints merged across all workers. Call
+// after Flush for a consistent snapshot.
+func (s *ShardedEngine) MemStats() []MemStats {
+	out := make([]MemStats, 0, len(s.prog.MapOrder))
+	for _, name := range s.prog.MapOrder {
+		st := s.global.Map(name).Stats()
+		for _, sh := range s.shards {
+			ss := sh.Map(name).Stats()
+			st.Entries += ss.Entries
+			st.Peak += ss.Peak
+			st.Updates += ss.Updates
+			if ss.Slices > st.Slices {
+				st.Slices = ss.Slices
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

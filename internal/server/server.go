@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 
+	"dbtoaster/internal/compiler"
 	"dbtoaster/internal/engine"
 	"dbtoaster/internal/runtime"
 	"dbtoaster/internal/schema"
@@ -41,6 +42,7 @@ import (
 type Server struct {
 	mu      sync.Mutex
 	cat     *schema.Catalog
+	shards  int
 	queries map[string]*registered
 	order   []string
 	first   string
@@ -49,14 +51,28 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
+// queryEngine is the compiled-engine surface the server needs; both the
+// single-threaded Toaster and the sharded variant satisfy it.
+type queryEngine interface {
+	engine.Engine
+	Compiled() *compiler.Compiled
+}
+
 type registered struct {
 	q       *engine.Query
-	toaster *engine.Toaster
+	toaster queryEngine
 }
 
 // New compiles the initial query (registered as "main") for serving.
 func New(sqlText string, cat *schema.Catalog) (*Server, error) {
-	s := &Server{cat: cat, queries: map[string]*registered{}}
+	return NewSharded(sqlText, cat, 0)
+}
+
+// NewSharded is New with the sharded runtime: every registered query runs
+// on a ShardedEngine with the given shard count (0 or 1 selects the
+// single-threaded engine).
+func NewSharded(sqlText string, cat *schema.Catalog, shards int) (*Server, error) {
+	s := &Server{cat: cat, shards: shards, queries: map[string]*registered{}}
 	if err := s.Register("main", sqlText); err != nil {
 		return nil, err
 	}
@@ -71,7 +87,12 @@ func (s *Server) Register(name, sqlText string) error {
 	if err != nil {
 		return err
 	}
-	t, err := engine.NewToaster(q, runtime.Options{})
+	var t queryEngine
+	if s.shards > 1 {
+		t, err = engine.NewShardedToaster(q, s.shards, runtime.Options{})
+	} else {
+		t, err = engine.NewToaster(q, runtime.Options{})
+	}
 	if err != nil {
 		return err
 	}
@@ -126,13 +147,23 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for connections to drain.
+// Close stops the listener, waits for connections to drain, and shuts
+// down any engines with worker goroutines.
 func (s *Server) Close() error {
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.order {
+		if c, ok := s.queries[name].toaster.(interface{ Close() error }); ok {
+			if cerr := c.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
 	return err
 }
 
