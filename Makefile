@@ -4,7 +4,8 @@
 #   make race    — the same tests under the race detector; required for
 #                  the concurrent sharded runtime (internal/runtime,
 #                  internal/engine, internal/server)
-#   make bench   — the EXPERIMENTS.md benchmark suite (short run)
+#   make bench   — the hot-path benchmark harness; writes
+#                  BENCH_hotpath.json (ns/op, B/op, allocs/op)
 #   make fuzz    — a short pass over every fuzz target
 
 GO ?= go
@@ -17,12 +18,13 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -run xxx -bench '^(BenchmarkFinancial|BenchmarkWarehouse)/^dbtoaster$$' -benchtime 100x -benchmem .
 
 race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run xxx -bench . -benchtime 10000x .
+	scripts/bench.sh
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzShardedAgreement -fuzztime 10s ./internal/engine

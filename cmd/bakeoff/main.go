@@ -35,6 +35,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "also run interpreter/no-slice ablations")
 		sweep    = flag.Bool("sweep", false, "also print throughput-vs-stream-position series")
 		shards   = flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): run the sharded-runtime sweep and add the largest as a bakeoff contender")
+		batch    = flag.Int("batch", 0, "feed engines in OnEventBatch chunks of this size (0 = per-event)")
 	)
 	flag.Parse()
 
@@ -95,6 +96,7 @@ func main() {
 			Events:        j.events,
 			Engines:       engines,
 			MaxEventsSlow: *slowCap,
+			Batch:         *batch,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bakeoff:", err)

@@ -35,6 +35,10 @@ type Config struct {
 	// large stream still finishes; their throughput is measured over the
 	// capped prefix. Zero means no cap.
 	MaxEventsSlow int
+	// Batch feeds engines through OnEventBatch in chunks of this size
+	// (amortizing per-call dispatch overhead); zero or one feeds events
+	// one at a time through OnEvent.
+	Batch int
 }
 
 // Row is one engine's measurement.
@@ -106,6 +110,24 @@ func slowEngine(name string) bool {
 	return name == "naive-reeval" || name == "first-order-ivm"
 }
 
+// feed drives evs into an engine, batched when batch > 1.
+func feed(e engine.Engine, evs []stream.Event, batch int) error {
+	if batch <= 1 {
+		for _, ev := range evs {
+			if err := e.OnEvent(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, chunk := range stream.Batches(evs, batch) {
+		if err := e.OnEventBatch(chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Run executes the bakeoff. Engines run sequentially over (a prefix of)
 // the same stream; answers are compared over a common prefix when slow
 // engines are capped.
@@ -154,11 +176,9 @@ func Run(cfg Config) (*Report, error) {
 			evs = evs[:cfg.MaxEventsSlow]
 		}
 		start := time.Now()
-		for _, ev := range evs {
-			if err := e.OnEvent(ev); err != nil {
-				closeEngine(e)
-				return nil, fmt.Errorf("bakeoff %s engine %s: %w", cfg.Name, name, err)
-			}
+		if err := feed(e, evs, cfg.Batch); err != nil {
+			closeEngine(e)
+			return nil, fmt.Errorf("bakeoff %s engine %s: %w", cfg.Name, name, err)
 		}
 		if err := finishEngine(e); err != nil {
 			closeEngine(e)

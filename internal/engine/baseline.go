@@ -163,6 +163,17 @@ func (n *Naive) OnEvent(ev stream.Event) error {
 	return n.recompute(n.q.Translated)
 }
 
+// OnEventBatch implements Engine. The baseline re-evaluates per delta by
+// definition, so a batch is just the per-event loop.
+func (n *Naive) OnEventBatch(evs []stream.Event) error {
+	for _, ev := range evs {
+		if err := n.OnEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Results implements Engine.
 func (n *Naive) Results() (*Result, error) {
 	return buildResult(n.q.Translated, n.stateGroups, n.stateComp)
@@ -183,6 +194,17 @@ func NewIVM(q *Query) *FirstOrderIVM { return &FirstOrderIVM{baseline: newBaseli
 
 // Name implements Engine.
 func (f *FirstOrderIVM) Name() string { return "first-order-ivm" }
+
+// OnEventBatch implements Engine: first-order deltas apply one event at a
+// time, so the batch is a per-event loop.
+func (f *FirstOrderIVM) OnEventBatch(evs []stream.Event) error {
+	for _, ev := range evs {
+		if err := f.OnEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // OnEvent implements Engine.
 func (f *FirstOrderIVM) OnEvent(ev stream.Event) error {

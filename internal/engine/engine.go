@@ -33,6 +33,10 @@ type Engine interface {
 	Name() string
 	// OnEvent applies one delta.
 	OnEvent(ev stream.Event) error
+	// OnEventBatch applies a batch of deltas in stream order, producing
+	// the same state as per-event calls; engines with asynchronous or
+	// per-call dispatch overhead amortize it across the batch.
+	OnEventBatch(evs []stream.Event) error
 	// Results returns the standing query's current answer.
 	Results() (*Result, error)
 	// MemEntries approximates state size as the number of materialized

@@ -65,6 +65,16 @@ func (m *MultiToaster) OnEvent(ev stream.Event) error {
 	return m.rt.OnEvent(ev.Relation, ev.Op == stream.Insert, args)
 }
 
+// OnEventBatch applies a batch of deltas in stream order.
+func (m *MultiToaster) OnEventBatch(evs []stream.Event) error {
+	for _, ev := range evs {
+		if err := m.OnEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Len returns the number of queries.
 func (m *MultiToaster) Len() int { return len(m.queries) }
 

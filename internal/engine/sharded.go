@@ -24,6 +24,9 @@ type ShardedToaster struct {
 	q        *Query
 	compiled *compiler.Compiled
 	name     string
+	// batch is the reused OnEventBatch staging buffer (the dispatcher
+	// copies events into its own pending batches before returning).
+	batch []runtime.Event
 }
 
 // NewShardedToaster compiles the query and builds the sharded runtime
@@ -108,6 +111,31 @@ func (t *ShardedToaster) OnEvent(ev stream.Event) error {
 	// may reuse their tuples (Coerce returns the input when no widening
 	// was needed).
 	return t.rt.OnEvent(ev.Relation, ev.Op == stream.Insert, args.Clone())
+}
+
+// OnEventBatch implements Engine: the whole batch is coerced up front and
+// handed to the dispatcher in one call, so the admission check (a mutex
+// round trip) is paid once per batch instead of once per event.
+func (t *ShardedToaster) OnEventBatch(evs []stream.Event) error {
+	if cap(t.batch) < len(evs) {
+		t.batch = make([]runtime.Event, 0, len(evs))
+	}
+	batch := t.batch[:0]
+	for _, ev := range evs {
+		args, err := coerce(t.q.Catalog, ev)
+		if err != nil {
+			return err
+		}
+		// Clone for the same reason OnEvent does: the runtime retains the
+		// tuple until the worker batch drains.
+		batch = append(batch, runtime.Event{
+			Rel:    ev.Relation,
+			Insert: ev.Op == stream.Insert,
+			Args:   args.Clone(),
+		})
+	}
+	t.batch = batch
+	return t.rt.OnEventBatch(batch)
 }
 
 // Flush blocks until every dispatched event has been applied.

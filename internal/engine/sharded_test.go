@@ -47,6 +47,34 @@ func TestShardedDifferentialProperty(t *testing.T) {
 				defer sh.Close()
 				engines = append(engines, sh)
 			}
+			// Batch-fed twins: the same stream delivered through
+			// OnEventBatch (in uneven chunks) must agree exactly with the
+			// per-event path, for both the single-threaded and sharded
+			// engines.
+			batchToaster, err := NewToaster(q, runtime.Options{})
+			if err != nil {
+				t.Fatalf("batch toaster %q: %v", src, err)
+			}
+			batched := []Engine{batchToaster}
+			for _, n := range shardCounts {
+				sh, err := NewShardedToaster(q, n, runtime.Options{})
+				if err != nil {
+					t.Fatalf("batch sharded-%d %q: %v", n, src, err)
+				}
+				defer sh.Close()
+				batched = append(batched, sh)
+			}
+			var pending []stream.Event
+			flushBatched := func() {
+				for _, chunk := range stream.Batches(pending, 7) {
+					for _, e := range batched {
+						if err := e.OnEventBatch(chunk); err != nil {
+							t.Fatalf("%q: %s OnEventBatch: %v", src, e.Name(), err)
+						}
+					}
+				}
+				pending = pending[:0]
+			}
 
 			feed := func(ev stream.Event) {
 				for _, e := range engines {
@@ -54,6 +82,7 @@ func TestShardedDifferentialProperty(t *testing.T) {
 						t.Fatalf("%q: %s OnEvent(%s): %v", src, e.Name(), ev, err)
 					}
 				}
+				pending = append(pending, ev)
 			}
 			randTuple := func() types.Tuple {
 				return types.Tuple{types.NewInt(int64(r.Intn(5))), types.NewInt(int64(r.Intn(5)))}
@@ -74,7 +103,9 @@ func TestShardedDifferentialProperty(t *testing.T) {
 					feed(ev)
 				}
 			}
-			requireAgreement(t, engines, src+" after inserts")
+			all := append(append([]Engine{}, engines...), batched...)
+			flushBatched()
+			requireAgreement(t, all, src+" after inserts")
 			// Phase 2: update workload — in-place tuple updates expand to
 			// delete/insert pairs via stream.Update.
 			for i := 0; i < 30 && len(live) > 0; i++ {
@@ -85,7 +116,8 @@ func TestShardedDifferentialProperty(t *testing.T) {
 				feed(pair[0])
 				feed(pair[1])
 			}
-			requireAgreement(t, engines, src+" after updates")
+			flushBatched()
+			requireAgreement(t, all, src+" after updates")
 			// Phase 3: delete-heavy drain.
 			for len(live) > 0 {
 				idx := r.Intn(len(live))
@@ -93,7 +125,8 @@ func TestShardedDifferentialProperty(t *testing.T) {
 				live = append(live[:idx], live[idx+1:]...)
 				feed(stream.Event{Op: stream.Delete, Relation: old.Relation, Args: old.Args})
 			}
-			requireAgreement(t, engines, src+" after drain")
+			flushBatched()
+			requireAgreement(t, all, src+" after drain")
 		})
 	}
 }

@@ -20,12 +20,15 @@ var shardFuzzQueries = []string{
 
 // FuzzShardedAgreement fuzzes the event order, event mix, and shard count
 // of a ShardedToaster and requires exact Result agreement with a
-// single-threaded Toaster oracle on the same stream.
+// single-threaded Toaster oracle on the same stream. The same stream is
+// also replayed through OnEventBatch (chunk size fuzzed from byte 0) on
+// both engine kinds, which must match the per-event oracle exactly.
 //
-// Input layout: byte 0 → shard count (1..8), byte 1 → query index, then
-// 3 bytes per event: [op/relation selector, column values...]. An odd
-// selector deletes a previously inserted tuple (chosen by the same byte),
-// keeping streams well-formed so every engine sees valid deltas.
+// Input layout: byte 0 → shard count (1..8) and batch chunk size, byte 1 →
+// query index, then 3 bytes per event: [op/relation selector, column
+// values...]. An odd selector deletes a previously inserted tuple (chosen
+// by the same byte), keeping streams well-formed so every engine sees
+// valid deltas.
 func FuzzShardedAgreement(f *testing.F) {
 	f.Add([]byte{2, 0, 0, 1, 2, 0, 3, 4, 1, 1, 2})
 	f.Add([]byte{8, 1, 0, 1, 1, 2, 1, 1, 4, 2, 2, 6, 3, 3})
@@ -36,6 +39,7 @@ func FuzzShardedAgreement(f *testing.F) {
 			return
 		}
 		shards := 1 + int(data[0])%8
+		chunk := 1 + int(data[0])%5
 		src := shardFuzzQueries[int(data[1])%len(shardFuzzQueries)]
 		data = data[2:]
 
@@ -55,6 +59,7 @@ func FuzzShardedAgreement(f *testing.F) {
 
 		rels := []string{"R", "S", "T"}
 		var history []stream.Event
+		var replay []stream.Event
 		for len(data) >= 3 {
 			sel, a, b := data[0], data[1], data[2]
 			data = data[3:]
@@ -74,6 +79,7 @@ func FuzzShardedAgreement(f *testing.F) {
 			if err := sh.OnEvent(ev); err != nil {
 				t.Fatalf("sharded OnEvent(%s): %v", ev, err)
 			}
+			replay = append(replay, ev)
 		}
 		want, err := oracle.Results()
 		if err != nil {
@@ -85,6 +91,37 @@ func FuzzShardedAgreement(f *testing.F) {
 		}
 		if !want.Equal(got) {
 			t.Fatalf("%q with %d shards disagrees with oracle\nwant:\n%s\ngot:\n%s", src, shards, want, got)
+		}
+
+		// Batched replay: the identical stream fed in chunks through
+		// OnEventBatch must reproduce the oracle's answer on both the
+		// single-threaded and sharded engines.
+		bt, err := NewToaster(q, runtime.Options{})
+		if err != nil {
+			t.Fatalf("batch toaster: %v", err)
+		}
+		bsh, err := NewShardedToaster(q, shards, runtime.Options{})
+		if err != nil {
+			t.Fatalf("batch sharded-%d: %v", shards, err)
+		}
+		defer bsh.Close()
+		for _, c := range stream.Batches(replay, chunk) {
+			if err := bt.OnEventBatch(c); err != nil {
+				t.Fatalf("toaster OnEventBatch: %v", err)
+			}
+			if err := bsh.OnEventBatch(c); err != nil {
+				t.Fatalf("sharded OnEventBatch: %v", err)
+			}
+		}
+		for _, e := range []Engine{bt, bsh} {
+			got, err := e.Results()
+			if err != nil {
+				t.Fatalf("%s batched results: %v", e.Name(), err)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("%q batched (chunk %d, %d shards) disagrees with oracle\nwant:\n%s\ngot:\n%s",
+					src, chunk, shards, want, got)
+			}
 		}
 	})
 }

@@ -98,6 +98,17 @@ func (t *Toaster) OnEvent(ev stream.Event) error {
 	return t.rt.OnEvent(ev.Relation, ev.Op == stream.Insert, args)
 }
 
+// OnEventBatch implements Engine. The runtime applies events synchronously,
+// so batching here is a straight loop with no extra buffering.
+func (t *Toaster) OnEventBatch(evs []stream.Event) error {
+	for _, ev := range evs {
+		if err := t.OnEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MemEntries implements Engine.
 func (t *Toaster) MemEntries() int {
 	n := 0

@@ -29,7 +29,17 @@ type Engine struct {
 	opts     Options
 	maps     map[string]*Map
 	triggers map[string]*compiledTrigger
-	events   uint64
+	// trigIns/trigDel resolve triggers directly by relation name (declared
+	// case and lowercase), so per-event dispatch never builds a lookup
+	// string.
+	trigIns map[string]*compiledTrigger
+	trigDel map[string]*compiledTrigger
+	// ikey and ibound are the interpreter's pooled key/bound buffers (one
+	// bound buffer per loop depth), keeping the ablation path comparable to
+	// the closures' compile-time buffers.
+	ikey   types.Tuple
+	ibound []types.Tuple
+	events uint64
 }
 
 type compiledTrigger struct {
@@ -52,6 +62,8 @@ func NewEngine(prog *ir.Program, opts Options) (*Engine, error) {
 		opts:     opts,
 		maps:     make(map[string]*Map, len(prog.Maps)),
 		triggers: make(map[string]*compiledTrigger),
+		trigIns:  make(map[string]*compiledTrigger),
+		trigDel:  make(map[string]*compiledTrigger),
 	}
 	for _, name := range prog.MapOrder {
 		e.maps[name] = NewMap(prog.Maps[name])
@@ -74,8 +86,28 @@ func NewEngine(prog *ir.Program, opts Options) (*Engine, error) {
 			return nil, err
 		}
 		e.triggers[triggerKey(t.Relation, t.Insert)] = ct
+		byRel := e.trigIns
+		if !t.Insert {
+			byRel = e.trigDel
+		}
+		byRel[t.Relation] = ct
+		byRel[strings.ToLower(t.Relation)] = ct
 	}
 	return e, nil
+}
+
+// trigger resolves a relation's trigger without allocating: the exact
+// name probes first, then the lowercase registration (the slow ToLower
+// fallback only runs for events whose case matches neither).
+func (e *Engine) trigger(rel string, insert bool) *compiledTrigger {
+	byRel := e.trigIns
+	if !insert {
+		byRel = e.trigDel
+	}
+	if ct, ok := byRel[rel]; ok {
+		return ct
+	}
+	return byRel[strings.ToLower(rel)]
 }
 
 // Program returns the engine's program.
@@ -109,8 +141,8 @@ func triggerKey(rel string, insert bool) string {
 // only reacts to its own inputs).
 func (e *Engine) OnEvent(rel string, insert bool, args types.Tuple) error {
 	e.events++
-	ct, ok := e.triggers[triggerKey(rel, insert)]
-	if !ok {
+	ct := e.trigger(rel, insert)
+	if ct == nil {
 		return nil
 	}
 	if len(args) != len(ct.trig.Params) {
@@ -138,6 +170,27 @@ func (e *Engine) OnEvent(rel string, insert bool, args types.Tuple) error {
 	copy(ct.env.slots, args)
 	for _, fn := range ct.fns {
 		fn(ct.env)
+	}
+	return nil
+}
+
+// Event is one base-relation delta in the runtime's native form; batched
+// ingestion hands slices of these through the engines and the sharded
+// dispatcher.
+type Event struct {
+	Rel    string
+	Insert bool
+	Args   types.Tuple
+}
+
+// OnEventBatch applies a batch of deltas in order. It is semantically
+// identical to calling OnEvent per element; batching exists so callers can
+// amortize their own per-event dispatch costs.
+func (e *Engine) OnEventBatch(evs []Event) error {
+	for _, ev := range evs {
+		if err := e.OnEvent(ev.Rel, ev.Insert, ev.Args); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -216,13 +269,9 @@ func (e *Engine) compileStmt(s *ir.Stmt, slots map[string]int) (stmtFn, error) {
 		slots[lt.Var] = idx
 		lets = append(lets, letSlot{slot: idx, fn: fn})
 	}
-	keyFns := make([]valFn, len(s.Keys))
-	for i, k := range s.Keys {
-		fn, err := e.compileExpr(k, slots)
-		if err != nil {
-			return nil, err
-		}
-		keyFns[i] = fn
+	fillKey, err := e.compileKeys(s.Keys, slots)
+	if err != nil {
+		return nil, err
 	}
 	var condFn valFn
 	if s.Cond != nil {
@@ -236,9 +285,12 @@ func (e *Engine) compileStmt(s *ir.Stmt, slots map[string]int) (stmtFn, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The key buffer is reused across calls: Map.Add copies what it keeps,
-	// and engines are single-goroutine.
-	key := make(types.Tuple, len(keyFns))
+	// The key tuple and encode buffer are reused across calls: Map.AddKey
+	// copies what it keeps, and engines are single-goroutine. Encoding here
+	// (rather than inside Add) means the statement pays for exactly one
+	// encode per executed update.
+	key := make(types.Tuple, len(s.Keys))
+	var kbuf []byte
 	body := func(env *cenv) {
 		for _, lt := range lets {
 			env.slots[lt.slot] = lt.fn(env)
@@ -251,10 +303,9 @@ func (e *Engine) compileStmt(s *ir.Stmt, slots map[string]int) (stmtFn, error) {
 		if f == 0 {
 			return
 		}
-		for i, fn := range keyFns {
-			key[i] = fn(env)
-		}
-		target.Add(key, f)
+		fillKey(env, key)
+		kbuf = types.AppendKey(kbuf[:0], key)
+		target.AddKey(kbuf, key, f)
 	}
 	// Wrap loops innermost-out.
 	for i := len(s.Loops) - 1; i >= 0; i-- {
@@ -265,6 +316,59 @@ func (e *Engine) compileStmt(s *ir.Stmt, slots map[string]int) (stmtFn, error) {
 		body = wrapped
 	}
 	return body, nil
+}
+
+// keyFiller materializes a key tuple into dst from the environment.
+type keyFiller func(env *cenv, dst types.Tuple)
+
+// compileKeys builds the key extractor for a statement or lookup: when
+// every key expression is a variable or constant (the overwhelmingly
+// common shape after compilation), it precomputes a slot→position plan and
+// fills the tuple with direct slot copies — no per-position closure calls.
+// Other expressions fall back to compiled valFns.
+func (e *Engine) compileKeys(keys []ir.Expr, slots map[string]int) (keyFiller, error) {
+	plan := make([]int, len(keys)) // slot index, or -1 for a constant
+	consts := make(types.Tuple, len(keys))
+	fast := true
+	for i, k := range keys {
+		switch k := k.(type) {
+		case *ir.VarRef:
+			idx, ok := slots[k.Name]
+			if !ok {
+				return nil, fmt.Errorf("runtime: key variable %s has no slot", k.Name)
+			}
+			plan[i] = idx
+		case *ir.Const:
+			plan[i] = -1
+			consts[i] = k.Value
+		default:
+			fast = false
+		}
+	}
+	if fast {
+		return func(env *cenv, dst types.Tuple) {
+			for i, s := range plan {
+				if s >= 0 {
+					dst[i] = env.slots[s]
+				} else {
+					dst[i] = consts[i]
+				}
+			}
+		}, nil
+	}
+	fns := make([]valFn, len(keys))
+	for i, k := range keys {
+		fn, err := e.compileExpr(k, slots)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	return func(env *cenv, dst types.Tuple) {
+		for i, fn := range fns {
+			dst[i] = fn(env)
+		}
+	}, nil
 }
 
 func (e *Engine) compileLoop(lp ir.Loop, slots map[string]int, body stmtFn) (stmtFn, error) {
@@ -323,19 +427,22 @@ func (e *Engine) compileLoop(lp ir.Loop, slots map[string]int, body stmtFn) (stm
 		}, nil
 	}
 	// Full scan with filtering (no bound positions, or index disabled).
+	// The filtering visitor is hoisted with the other per-loop buffers so
+	// the scan path stays allocation-free per event.
+	scanVisit := func(t types.Tuple, val float64) {
+		for i, p := range pos {
+			if !t[p].Equal(bound[i]) {
+				return
+			}
+		}
+		visit(t, val)
+	}
 	return func(env *cenv) {
 		curEnv = env
 		for i, fn := range boundFns {
 			bound[i] = fn(env)
 		}
-		m.Scan(func(t types.Tuple, val float64) {
-			for i, p := range pos {
-				if !t[p].Equal(bound[i]) {
-					return
-				}
-			}
-			visit(t, val)
-		})
+		m.Scan(scanVisit)
 	}, nil
 }
 
@@ -357,21 +464,17 @@ func (e *Engine) compileExpr(x ir.Expr, slots map[string]int) (valFn, error) {
 		if m == nil {
 			return nil, fmt.Errorf("runtime: lookup of unknown map %s", x.Map)
 		}
-		keyFns := make([]valFn, len(x.Keys))
-		for i, k := range x.Keys {
-			fn, err := e.compileExpr(k, slots)
-			if err != nil {
-				return nil, err
-			}
-			keyFns[i] = fn
+		fill, err := e.compileKeys(x.Keys, slots)
+		if err != nil {
+			return nil, err
 		}
-		// Reused buffer: Map.Get only reads the key.
-		key := make(types.Tuple, len(keyFns))
+		// Reused buffers: Map.GetKey only reads the encoded key.
+		key := make(types.Tuple, len(x.Keys))
+		var kbuf []byte
 		return func(env *cenv) types.Value {
-			for i, fn := range keyFns {
-				key[i] = fn(env)
-			}
-			return types.NewFloat(m.Get(key))
+			fill(env, key)
+			kbuf = types.AppendKey(kbuf[:0], key)
+			return types.NewFloat(m.GetKey(kbuf))
 		}, nil
 	case *ir.Arith:
 		l, err := e.compileExpr(x.L, slots)
@@ -417,10 +520,10 @@ func (e *Engine) compileExpr(x ir.Expr, slots map[string]int) (valFn, error) {
 // --- IR interpreter (ablation path) ---
 
 func (e *Engine) interpStmt(s *ir.Stmt, env map[string]types.Value) error {
-	return e.interpLoops(s, s.Loops, env)
+	return e.interpLoops(s, s.Loops, env, 0)
 }
 
-func (e *Engine) interpLoops(s *ir.Stmt, loops []ir.Loop, env map[string]types.Value) error {
+func (e *Engine) interpLoops(s *ir.Stmt, loops []ir.Loop, env map[string]types.Value, depth int) error {
 	if len(loops) == 0 {
 		for _, lt := range s.Lets {
 			v, err := e.interpExpr(lt.Expr, env)
@@ -446,7 +549,13 @@ func (e *Engine) interpLoops(s *ir.Stmt, loops []ir.Loop, env map[string]types.V
 		if f == 0 {
 			return nil
 		}
-		key := make(types.Tuple, len(s.Keys))
+		// The leaf key buffer is pooled on the engine (like the env map),
+		// so the interpretation ablation measures interpretation overhead,
+		// not extra garbage.
+		if cap(e.ikey) < len(s.Keys) {
+			e.ikey = make(types.Tuple, len(s.Keys))
+		}
+		key := e.ikey[:len(s.Keys)]
 		for i, k := range s.Keys {
 			v, err := e.interpExpr(k, env)
 			if err != nil {
@@ -460,7 +569,15 @@ func (e *Engine) interpLoops(s *ir.Stmt, loops []ir.Loop, env map[string]types.V
 	lp := loops[0]
 	m := e.maps[lp.Map]
 	pos := boundPositions(lp)
-	bound := make(types.Tuple, len(pos))
+	// One pooled bound buffer per loop depth: nested loops at different
+	// depths are live at the same time, loops at the same depth are not.
+	for len(e.ibound) <= depth {
+		e.ibound = append(e.ibound, nil)
+	}
+	if cap(e.ibound[depth]) < len(pos) {
+		e.ibound[depth] = make(types.Tuple, len(pos))
+	}
+	bound := e.ibound[depth][:len(pos)]
 	for i, p := range pos {
 		v, err := e.interpExpr(lp.Bound[p], env)
 		if err != nil {
@@ -481,7 +598,7 @@ func (e *Engine) interpLoops(s *ir.Stmt, loops []ir.Loop, env map[string]types.V
 		if lp.ValueVar != "" {
 			env[lp.ValueVar] = types.NewFloat(val)
 		}
-		ierr = e.interpLoops(s, loops[1:], env)
+		ierr = e.interpLoops(s, loops[1:], env, depth+1)
 	}
 	if !e.opts.NoSliceIndex && len(pos) > 0 && len(pos) < len(lp.Bound) {
 		m.EnsureSlice(pos).Iterate(bound, visit)

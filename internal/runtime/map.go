@@ -25,6 +25,10 @@ type Map struct {
 	entries map[types.Key]*entry
 	slices  []*sliceIndex
 	sorted  *treap.Tree
+	// scratch is the reused key-encoding buffer: Get/Add encode the key
+	// tuple into it and probe with the zero-allocation m[Key(buf)] idiom.
+	// Maps are single-goroutine, like the engines that own them.
+	scratch []byte
 	// updates counts non-zero Add calls: the per-map overhead breakdown
 	// the paper's profiler displays (§4.2).
 	updates uint64
@@ -32,7 +36,10 @@ type Map struct {
 	peak int
 }
 
+// entry keeps its own materialized Key so removal paths (hash bucket,
+// slice indexes) never re-encode or re-allocate the key string.
 type entry struct {
+	key   types.Key
 	tuple types.Tuple
 	val   float64
 }
@@ -40,6 +47,7 @@ type entry struct {
 type sliceIndex struct {
 	positions []int // bound key positions
 	buckets   map[types.Key]map[types.Key]*entry
+	scratch   []byte // reused bound-key encoding buffer
 }
 
 // NewMap creates an empty map for the declaration; a sorted mirror is
@@ -61,9 +69,18 @@ func (m *Map) Name() string { return m.decl.Name }
 // Len returns the number of non-zero entries.
 func (m *Map) Len() int { return len(m.entries) }
 
-// Get returns the value at key (0 when absent).
+// Get returns the value at key (0 when absent). Allocation-free: the key
+// encodes into the map's scratch buffer.
 func (m *Map) Get(key types.Tuple) float64 {
-	if e, ok := m.entries[types.EncodeKey(key)]; ok {
+	m.scratch = types.AppendKey(m.scratch[:0], key)
+	return m.GetKey(m.scratch)
+}
+
+// GetKey returns the value at a pre-encoded key (the types.AppendKey wire
+// form; 0 when absent). Compiled closures that already hold the encoded
+// bytes probe through here so each key is encoded exactly once.
+func (m *Map) GetKey(k []byte) float64 {
+	if e, ok := m.entries[types.Key(k)]; ok {
 		return e.val
 	}
 	return 0
@@ -71,19 +88,31 @@ func (m *Map) Get(key types.Tuple) float64 {
 
 // Add adds delta to the entry at key; exact-zero entries are removed
 // (0 and absent are semantically identical for ring aggregates, and
-// removal keeps loop enumerations tight under deletions).
+// removal keeps loop enumerations tight under deletions). Steady-state
+// updates to existing entries are allocation-free; only first inserts
+// materialize a Key string and clone the tuple.
 func (m *Map) Add(key types.Tuple, delta float64) {
 	if delta == 0 {
 		return
 	}
+	m.scratch = types.AppendKey(m.scratch[:0], key)
+	m.AddKey(m.scratch, key, delta)
+}
+
+// AddKey is Add with a pre-encoded key: k must be the types.AppendKey
+// encoding of key. The caller keeps ownership of k (it may be a reused
+// scratch buffer); AddKey copies it only when inserting a new entry.
+func (m *Map) AddKey(k []byte, key types.Tuple, delta float64) {
+	if delta == 0 {
+		return
+	}
 	m.updates++
-	k := types.EncodeKey(key)
-	e, ok := m.entries[k]
+	e, ok := m.entries[types.Key(k)]
 	if !ok {
-		e = &entry{tuple: key.Clone(), val: delta}
-		m.entries[k] = e
+		e = &entry{key: types.Key(string(k)), tuple: key.Clone(), val: delta}
+		m.entries[e.key] = e
 		for _, s := range m.slices {
-			s.insert(k, e)
+			s.insert(e)
 		}
 		if m.sorted != nil {
 			m.sorted.Add(e.tuple, delta)
@@ -98,9 +127,9 @@ func (m *Map) Add(key types.Tuple, delta float64) {
 		m.sorted.Add(e.tuple, delta)
 	}
 	if e.val == 0 {
-		delete(m.entries, k)
+		delete(m.entries, e.key)
 		for _, s := range m.slices {
-			s.remove(k, e)
+			s.remove(e)
 		}
 	}
 }
@@ -148,37 +177,39 @@ func (m *Map) EnsureSlice(positions []int) *sliceIndex {
 	return s
 }
 
-func (s *sliceIndex) boundKey(t types.Tuple) types.Key {
-	sub := make(types.Tuple, len(s.positions))
-	for i, p := range s.positions {
-		sub[i] = t[p]
+// appendBoundKey encodes the bound-position sub-tuple of t into the
+// index's scratch buffer, avoiding the sub-tuple allocation entirely.
+func (s *sliceIndex) appendBoundKey(t types.Tuple) {
+	s.scratch = s.scratch[:0]
+	for _, p := range s.positions {
+		s.scratch = types.AppendValue(s.scratch, t[p])
 	}
-	return types.EncodeKey(sub)
 }
 
-func (s *sliceIndex) insert(full types.Key, e *entry) {
-	bk := s.boundKey(e.tuple)
-	b, ok := s.buckets[bk]
+func (s *sliceIndex) insert(e *entry) {
+	s.appendBoundKey(e.tuple)
+	b, ok := s.buckets[types.Key(s.scratch)]
 	if !ok {
 		b = make(map[types.Key]*entry)
-		s.buckets[bk] = b
+		s.buckets[types.Key(string(s.scratch))] = b
 	}
-	b[full] = e
+	b[e.key] = e
 }
 
-func (s *sliceIndex) remove(full types.Key, e *entry) {
-	bk := s.boundKey(e.tuple)
-	if b, ok := s.buckets[bk]; ok {
-		delete(b, full)
+func (s *sliceIndex) remove(e *entry) {
+	s.appendBoundKey(e.tuple)
+	if b, ok := s.buckets[types.Key(s.scratch)]; ok {
+		delete(b, e.key)
 		if len(b) == 0 {
-			delete(s.buckets, bk)
+			delete(s.buckets, types.Key(s.scratch))
 		}
 	}
 }
 
 // Iterate visits entries whose bound positions equal boundVals.
 func (s *sliceIndex) Iterate(boundVals types.Tuple, f func(types.Tuple, float64)) {
-	if b, ok := s.buckets[types.EncodeKey(boundVals)]; ok {
+	s.scratch = types.AppendKey(s.scratch[:0], boundVals)
+	if b, ok := s.buckets[types.Key(s.scratch)]; ok {
 		for _, e := range b {
 			f(e.tuple, e.val)
 		}

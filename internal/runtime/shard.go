@@ -22,10 +22,15 @@ type ShardOptions struct {
 	Base Options
 }
 
-type shardEvent struct {
-	rel    string
-	insert bool
-	args   types.Tuple
+// route is the precomputed dispatch decision for one (relation, op) pair:
+// whether the trigger has shard-local and/or global statements, and which
+// parameter position carries the partition value. Routes are resolved by
+// relation name (declared case plus lowercase), so steady-state dispatch
+// never builds a lookup string.
+type route struct {
+	local  bool
+	global bool
+	param  int // partition parameter position; -1 when unknown
 }
 
 // ShardedEngine executes one compiled trigger program across N shard
@@ -47,14 +52,13 @@ type ShardedEngine struct {
 	shards []*Engine
 	global *Engine
 
-	shardCh  []chan []shardEvent
-	globalCh chan []shardEvent
-	pend     [][]shardEvent
-	gpend    []shardEvent
+	shardCh  []chan []Event
+	globalCh chan []Event
+	pend     [][]Event
+	gpend    []Event
 
-	hasLocal  map[string]bool
-	hasGlobal map[string]bool
-	relParam  map[string]int
+	routeIns map[string]route
+	routeDel map[string]route
 
 	inflight sync.WaitGroup // outstanding batches
 	workers  sync.WaitGroup // live worker goroutines
@@ -84,25 +88,35 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 	localProg, globalProg := part.splitProgram(prog)
 
 	s := &ShardedEngine{
-		prog:      prog,
-		part:      part,
-		n:         n,
-		bsz:       bsz,
-		shardCh:   make([]chan []shardEvent, n),
-		pend:      make([][]shardEvent, n),
-		hasLocal:  map[string]bool{},
-		hasGlobal: map[string]bool{},
-		relParam:  part.RelParam,
+		prog:     prog,
+		part:     part,
+		n:        n,
+		bsz:      bsz,
+		shardCh:  make([]chan []Event, n),
+		pend:     make([][]Event, n),
+		routeIns: map[string]route{},
+		routeDel: map[string]route{},
 	}
 	for _, t := range prog.Triggers {
-		key := triggerKey(t.Relation, t.Insert)
+		byRel := s.routeIns
+		if !t.Insert {
+			byRel = s.routeDel
+		}
+		lower := strings.ToLower(t.Relation)
+		r := byRel[lower]
+		r.param = -1
+		if p, ok := part.RelParam[lower]; ok {
+			r.param = p
+		}
 		for _, st := range t.Stmts {
 			if part.StmtLocal(st) {
-				s.hasLocal[key] = true
+				r.local = true
 			} else {
-				s.hasGlobal[key] = true
+				r.global = true
 			}
 		}
+		byRel[lower] = r
+		byRel[t.Relation] = r
 	}
 	for i := 0; i < n; i++ {
 		e, err := NewEngine(localProg, opts.Base)
@@ -110,16 +124,16 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 			return nil, err
 		}
 		s.shards = append(s.shards, e)
-		s.shardCh[i] = make(chan []shardEvent, queue)
-		s.pend[i] = make([]shardEvent, 0, bsz)
+		s.shardCh[i] = make(chan []Event, queue)
+		s.pend[i] = make([]Event, 0, bsz)
 	}
 	var err error
 	s.global, err = NewEngine(globalProg, opts.Base)
 	if err != nil {
 		return nil, err
 	}
-	s.globalCh = make(chan []shardEvent, queue)
-	s.gpend = make([]shardEvent, 0, bsz)
+	s.globalCh = make(chan []Event, queue)
+	s.gpend = make([]Event, 0, bsz)
 
 	for i := 0; i < n; i++ {
 		s.workers.Add(1)
@@ -130,14 +144,11 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 	return s, nil
 }
 
-func (s *ShardedEngine) worker(e *Engine, ch chan []shardEvent) {
+func (s *ShardedEngine) worker(e *Engine, ch chan []Event) {
 	defer s.workers.Done()
 	for batch := range ch {
-		for _, ev := range batch {
-			if err := e.OnEvent(ev.rel, ev.insert, ev.args); err != nil {
-				s.setErr(err)
-				break
-			}
+		if err := e.OnEventBatch(batch); err != nil {
+			s.setErr(err)
 		}
 		s.inflight.Done()
 	}
@@ -176,34 +187,54 @@ func (s *ShardedEngine) GlobalMap(name string) *Map { return s.global.Map(name) 
 // Events returns the number of accepted events.
 func (s *ShardedEngine) Events() uint64 { return s.events }
 
-// OnEvent routes one delta. The event is enqueued, not yet applied: its
-// local statements go to the shard owning the partition value, its global
-// statements to the global worker. Args must not be mutated afterwards.
-func (s *ShardedEngine) OnEvent(rel string, insert bool, args types.Tuple) error {
-	if err := s.Err(); err != nil {
-		return err
-	}
+// checkOpen reports the first worker error or the closed state; it is the
+// per-call (not per-event) half of event admission.
+func (s *ShardedEngine) checkOpen() error {
 	s.mu.Lock()
+	err := s.err
 	closed := s.closed
 	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	if closed {
 		return fmt.Errorf("runtime: sharded engine is closed")
 	}
+	return nil
+}
+
+// routeOf resolves the dispatch decision for a relation, preferring the
+// exact-case registration so steady-state routing is allocation-free.
+func (s *ShardedEngine) routeOf(rel string, insert bool) (route, bool) {
+	byRel := s.routeIns
+	if !insert {
+		byRel = s.routeDel
+	}
+	if r, ok := byRel[rel]; ok {
+		return r, true
+	}
+	r, ok := byRel[strings.ToLower(rel)]
+	return r, ok
+}
+
+// enqueue routes one admitted delta to its pending batches.
+func (s *ShardedEngine) enqueue(ev Event) error {
 	s.events++
-	key := triggerKey(rel, insert)
-	ev := shardEvent{rel: rel, insert: insert, args: args}
-	if s.hasLocal[key] {
-		p, ok := s.relParam[strings.ToLower(rel)]
-		if !ok || p >= len(args) {
-			return fmt.Errorf("runtime: no routing parameter for relation %s", rel)
+	r, ok := s.routeOf(ev.Rel, ev.Insert)
+	if !ok {
+		return nil // relations the program does not mention are ignored
+	}
+	if r.local {
+		if r.param < 0 || r.param >= len(ev.Args) {
+			return fmt.Errorf("runtime: no routing parameter for relation %s", ev.Rel)
 		}
-		sh := int(PartitionHash(args[p]) % uint32(s.n))
+		sh := int(PartitionHash(ev.Args[r.param]) % uint32(s.n))
 		s.pend[sh] = append(s.pend[sh], ev)
 		if len(s.pend[sh]) >= s.bsz {
 			s.dispatchShard(sh)
 		}
 	}
-	if s.hasGlobal[key] {
+	if r.global {
 		s.gpend = append(s.gpend, ev)
 		if len(s.gpend) >= s.bsz {
 			s.dispatchGlobal()
@@ -212,16 +243,41 @@ func (s *ShardedEngine) OnEvent(rel string, insert bool, args types.Tuple) error
 	return nil
 }
 
+// OnEvent routes one delta. The event is enqueued, not yet applied: its
+// local statements go to the shard owning the partition value, its global
+// statements to the global worker. Args must not be mutated afterwards.
+func (s *ShardedEngine) OnEvent(rel string, insert bool, args types.Tuple) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	return s.enqueue(Event{Rel: rel, Insert: insert, Args: args})
+}
+
+// OnEventBatch routes a batch of deltas, paying the admission check (one
+// mutex round trip) once per batch instead of once per event. The batch
+// slice may be reused by the caller after return; the Args tuples may not.
+func (s *ShardedEngine) OnEventBatch(evs []Event) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		if err := s.enqueue(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (s *ShardedEngine) dispatchShard(i int) {
 	s.inflight.Add(1)
 	s.shardCh[i] <- s.pend[i]
-	s.pend[i] = make([]shardEvent, 0, s.bsz)
+	s.pend[i] = make([]Event, 0, s.bsz)
 }
 
 func (s *ShardedEngine) dispatchGlobal() {
 	s.inflight.Add(1)
 	s.globalCh <- s.gpend
-	s.gpend = make([]shardEvent, 0, s.bsz)
+	s.gpend = make([]Event, 0, s.bsz)
 }
 
 // Flush dispatches every pending batch and blocks until all workers are

@@ -9,6 +9,8 @@
 //
 //	INSERT <relation> v1|v2|...   → OK | ERR <msg>
 //	DELETE <relation> v1|v2|...   → OK | ERR <msg>
+//	BATCH <n>                     → reads n INSERT/DELETE lines, applies
+//	                                them as one batch → OK | ERR <msg>
 //	REGISTER <name> <sql>         → OK (compiles another standing query)
 //	QUERIES                       → OK <n> then one "name sql" line each
 //	RESULT [name]                 → OK <n> then n result lines
@@ -178,7 +180,7 @@ func (s *Server) serve(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		quit := s.handle(w, line)
+		quit := s.handle(sc, w, line)
 		w.Flush()
 		if quit {
 			return
@@ -186,21 +188,15 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(w *bufio.Writer, line string) (quit bool) {
+func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit bool) {
 	cmd, rest, _ := strings.Cut(line, " ")
 	switch strings.ToUpper(cmd) {
 	case "INSERT", "DELETE":
-		rel, valstr, _ := strings.Cut(rest, " ")
-		args, err := s.parseTuple(rel, valstr)
+		ev, err := s.parseDelta(cmd, rest)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %s\n", err)
 			return false
 		}
-		op := stream.Insert
-		if strings.EqualFold(cmd, "DELETE") {
-			op = stream.Delete
-		}
-		ev := stream.Event{Op: op, Relation: rel, Args: args}
 		s.mu.Lock()
 		for _, name := range s.order {
 			if e := s.queries[name].toaster.OnEvent(ev); e != nil {
@@ -214,6 +210,58 @@ func (s *Server) handle(w *bufio.Writer, line string) (quit bool) {
 		s.mu.Unlock()
 		if err != nil {
 			fmt.Fprintf(w, "ERR %s\n", err)
+			return false
+		}
+		fmt.Fprintln(w, "OK")
+	case "BATCH":
+		n, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil || n < 0 {
+			fmt.Fprintln(w, "ERR usage: BATCH <n>")
+			return false
+		}
+		evs := make([]stream.Event, 0, n)
+		var parseErr error
+		for i := 0; i < n; i++ {
+			// Consume all n delta lines even after a parse error, so the
+			// protocol stays in sync.
+			if !sc.Scan() {
+				fmt.Fprintln(w, "ERR truncated batch")
+				return true
+			}
+			dcmd, drest, _ := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+			if !strings.EqualFold(dcmd, "INSERT") && !strings.EqualFold(dcmd, "DELETE") {
+				if parseErr == nil {
+					parseErr = fmt.Errorf("batch line %d: expected INSERT or DELETE, got %q", i+1, dcmd)
+				}
+				continue
+			}
+			ev, err := s.parseDelta(dcmd, drest)
+			if err != nil {
+				if parseErr == nil {
+					parseErr = fmt.Errorf("batch line %d: %w", i+1, err)
+				}
+				continue
+			}
+			evs = append(evs, ev)
+		}
+		if parseErr != nil {
+			fmt.Fprintf(w, "ERR %s\n", parseErr)
+			return false
+		}
+		s.mu.Lock()
+		var applyErr error
+		for _, name := range s.order {
+			if e := s.queries[name].toaster.OnEventBatch(evs); e != nil {
+				applyErr = e
+				break
+			}
+		}
+		if applyErr == nil {
+			s.events += uint64(len(evs))
+		}
+		s.mu.Unlock()
+		if applyErr != nil {
+			fmt.Fprintf(w, "ERR %s\n", applyErr)
 			return false
 		}
 		fmt.Fprintln(w, "OK")
@@ -285,6 +333,20 @@ func (s *Server) handle(w *bufio.Writer, line string) (quit bool) {
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
 	return false
+}
+
+// parseDelta parses the body of an INSERT/DELETE command into an event.
+func (s *Server) parseDelta(cmd, rest string) (stream.Event, error) {
+	rel, valstr, _ := strings.Cut(rest, " ")
+	args, err := s.parseTuple(rel, valstr)
+	if err != nil {
+		return stream.Event{}, err
+	}
+	op := stream.Insert
+	if strings.EqualFold(cmd, "DELETE") {
+		op = stream.Delete
+	}
+	return stream.Event{Op: op, Relation: rel, Args: args}, nil
 }
 
 // parseTuple converts '|'-separated literals per the relation's schema.
@@ -407,6 +469,34 @@ func (c *Client) sendDelta(cmd, rel string, vals []types.Value) error {
 	}
 	_, _, err := c.roundTrip(fmt.Sprintf("%s %s %s", cmd, rel, strings.Join(parts, "|")))
 	return err
+}
+
+// Batch sends a batch of deltas through the BATCH command: one round trip
+// and one server-side lock acquisition for the whole batch.
+func (c *Client) Batch(evs []stream.Event) error {
+	fmt.Fprintf(c.w, "BATCH %d\n", len(evs))
+	for _, ev := range evs {
+		cmd := "INSERT"
+		if ev.Op == stream.Delete {
+			cmd = "DELETE"
+		}
+		parts := make([]string, len(ev.Args))
+		for i, v := range ev.Args {
+			parts[i] = v.String()
+		}
+		fmt.Fprintf(c.w, "%s %s %s\n", cmd, ev.Relation, strings.Join(parts, "|"))
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if !c.r.Scan() {
+		return fmt.Errorf("server closed connection")
+	}
+	head := c.r.Text()
+	if strings.HasPrefix(head, "ERR") {
+		return fmt.Errorf("%s", strings.TrimPrefix(head, "ERR "))
+	}
+	return nil
 }
 
 // Register compiles another standing query on the server.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dbtoaster/internal/schema"
+	"dbtoaster/internal/stream"
 	"dbtoaster/internal/types"
 )
 
@@ -52,6 +53,56 @@ func TestServerInsertAndResult(t *testing.T) {
 	}
 	if rows[0][0] != "1" || rows[0][1] != "3" {
 		t.Errorf("row = %v", rows[0])
+	}
+}
+
+func TestServerBatch(t *testing.T) {
+	_, c := startServer(t, "select B, sum(A) from R group by B")
+	evs := []stream.Event{
+		stream.Ins("R", types.NewInt(5), types.NewInt(1)),
+		stream.Ins("R", types.NewInt(3), types.NewInt(1)),
+		stream.Ins("R", types.NewInt(7), types.NewInt(2)),
+		stream.Del("R", types.NewInt(5), types.NewInt(1)),
+	}
+	if err := c.Batch(evs); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != len(evs) {
+		t.Errorf("events = %d, want %d", events, len(evs))
+	}
+	_, rows, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "1" || rows[0][1] != "3" || rows[1][0] != "2" || rows[1][1] != "7" {
+		t.Errorf("rows = %v", rows)
+	}
+	// An empty batch is a no-op.
+	if err := c.Batch(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerBatchErrors(t *testing.T) {
+	_, c := startServer(t, "select sum(A) from R")
+	// A bad line inside a batch reports an error but leaves the protocol
+	// in sync: the next command still works.
+	err := c.Batch([]stream.Event{
+		stream.Ins("R", types.NewInt(1), types.NewInt(2)),
+		stream.Ins("Nope", types.NewInt(1)),
+	})
+	if err == nil {
+		t.Error("bad batch accepted")
+	}
+	if err := c.Insert("R", types.NewInt(1), types.NewInt(2)); err != nil {
+		t.Fatalf("protocol out of sync after batch error: %v", err)
+	}
+	if _, _, err := c.roundTrip("BATCH x"); err == nil {
+		t.Error("malformed batch count accepted")
 	}
 }
 

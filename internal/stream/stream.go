@@ -93,3 +93,39 @@ func Drain(src Source) []Event {
 		out = append(out, e)
 	}
 }
+
+// NextBatch fills buf (reusing its backing array) with up to max events
+// from src, returning the filled slice and whether the source may have
+// more. An empty slice with ok=false means the stream is exhausted.
+func NextBatch(src Source, buf []Event, max int) ([]Event, bool) {
+	if max < 1 {
+		max = 1
+	}
+	buf = buf[:0]
+	for len(buf) < max {
+		e, ok := src.Next()
+		if !ok {
+			return buf, false
+		}
+		buf = append(buf, e)
+	}
+	return buf, true
+}
+
+// Batches splits events into consecutive chunks of at most n (the last
+// chunk may be shorter). The chunks alias the input slice.
+func Batches(events []Event, n int) [][]Event {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Event, 0, (len(events)+n-1)/n)
+	for len(events) > 0 {
+		m := n
+		if m > len(events) {
+			m = len(events)
+		}
+		out = append(out, events[:m])
+		events = events[m:]
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzTuple decodes fuzz bytes into a mixed-kind tuple, consuming the
+// input: each value takes one selector byte plus a kind-dependent payload.
+func fuzzTuple(data []byte) (Tuple, []byte) {
+	var t Tuple
+	for len(data) > 0 && len(t) < 8 {
+		sel := data[0]
+		data = data[1:]
+		switch sel % 5 {
+		case 0:
+			t = append(t, Null)
+		case 1:
+			var n int64
+			for i := 0; i < 8 && len(data) > 0; i++ {
+				n = n<<8 | int64(data[0])
+				data = data[1:]
+			}
+			t = append(t, NewInt(n))
+		case 2:
+			var bits uint64
+			for i := 0; i < 8 && len(data) > 0; i++ {
+				bits = bits<<8 | uint64(data[0])
+				data = data[1:]
+			}
+			// NaN normalizes to Null inside NewFloat; that is still a
+			// valid value to encode.
+			t = append(t, NewFloat(math.Float64frombits(bits)))
+		case 3:
+			n := 0
+			if len(data) > 0 {
+				n = int(data[0]) % 9
+				data = data[1:]
+			}
+			if n > len(data) {
+				n = len(data)
+			}
+			t = append(t, NewString(string(data[:n])))
+			data = data[n:]
+		default:
+			t = append(t, NewBool(sel%2 == 0))
+		}
+	}
+	return t, data
+}
+
+// FuzzKeyRoundTrip checks the three key-encoding invariants the runtime
+// relies on: AppendKey and EncodeKey agree byte-for-byte (EncodeKey is a
+// thin wrapper), DecodeKey inverts the encoding, and the encoding is
+// injective (distinct tuples never share a key).
+func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 42})
+	f.Add([]byte{3, 4, 'a', 'b', 0, 'c', 3, 0})
+	f.Add([]byte{0, 4, 1, 255, 255, 255, 255, 255, 255, 255, 255, 2, 0, 0, 0, 0, 0, 0, 240, 127})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, rest := fuzzTuple(data)
+		b, _ := fuzzTuple(rest)
+
+		ka := EncodeKey(a)
+		if appended := AppendKey(nil, a); !bytes.Equal(appended, []byte(ka)) {
+			t.Fatalf("AppendKey(nil, %v) = %x, EncodeKey = %x", a, appended, []byte(ka))
+		}
+		// Appending after a prefix must leave the prefix intact and add
+		// exactly the encoding.
+		prefix := []byte("prefix")
+		ext := AppendKey(append([]byte{}, prefix...), a)
+		if !bytes.Equal(ext[:len(prefix)], prefix) || !bytes.Equal(ext[len(prefix):], []byte(ka)) {
+			t.Fatalf("AppendKey after prefix mangled encoding of %v", a)
+		}
+		if got := DecodeKey(ka); !got.Equal(a) {
+			t.Fatalf("DecodeKey(EncodeKey(%v)) = %v", a, got)
+		}
+
+		kb := EncodeKey(b)
+		if (ka == kb) != a.Equal(b) {
+			t.Fatalf("injectivity violated: %v / %v, keys %x / %x", a, b, []byte(ka), []byte(kb))
+		}
+	})
+}

@@ -69,29 +69,47 @@ func (t Tuple) String() string {
 // key. The runtime's view maps and the executor's hash joins key on it.
 type Key string
 
+// AppendValue appends the injective encoding of one value to dst and
+// returns the extended slice. It is the single implementation of the key
+// wire format: a kind tag, then the fixed-width payload (length-prefixed
+// for strings).
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindInt, KindBool:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.i))
+	case KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// AppendKey appends the injective encoding of t to dst and returns the
+// extended slice. The hot path encodes into a reused scratch buffer with
+// AppendKey(buf[:0], t) and probes maps with the zero-allocation
+// m[Key(buf)] idiom; a Key string is materialized only when an entry is
+// actually inserted.
+func AppendKey(dst []byte, t Tuple) []byte {
+	for _, v := range t {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
 // EncodeKey encodes a tuple into a Key. The encoding is injective: it tags
 // each value with its kind and length-prefixes strings, so distinct tuples
-// never encode to the same Key.
+// never encode to the same Key. It is AppendKey plus a fresh allocation;
+// hot paths should encode into a scratch buffer with AppendKey instead.
 func EncodeKey(t Tuple) Key {
 	if len(t) == 0 {
 		return ""
 	}
-	var b []byte
-	// Rough pre-size: 9 bytes per scalar.
-	b = make([]byte, 0, len(t)*10)
-	for _, v := range t {
-		b = append(b, byte(v.kind))
-		switch v.kind {
-		case KindInt, KindBool:
-			b = binary.LittleEndian.AppendUint64(b, uint64(v.i))
-		case KindFloat:
-			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.f))
-		case KindString:
-			b = binary.LittleEndian.AppendUint32(b, uint32(len(v.s)))
-			b = append(b, v.s...)
-		}
-	}
-	return Key(string(b))
+	// Pre-size: 9 bytes per scalar (1 kind tag + 8 payload); strings may
+	// grow the buffer, scalars never do.
+	return Key(AppendKey(make([]byte, 0, len(t)*9), t))
 }
 
 // DecodeKey inverts EncodeKey. It is used by snapshots and the debugger to

@@ -74,6 +74,11 @@ func NewFloat(v float64) Value {
 	if math.IsNaN(v) {
 		return Null
 	}
+	if v == 0 {
+		// Normalize -0.0: it compares equal to +0.0 but has different
+		// bits, which would break the key encoding's injectivity.
+		v = 0
+	}
 	return Value{kind: KindFloat, f: v}
 }
 

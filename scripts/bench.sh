@@ -1,0 +1,47 @@
+#!/bin/sh
+# Hot-path benchmark harness: runs the financial and warehouse benchmark
+# suites (compiled engine) with allocation reporting and persists the
+# numbers to BENCH_hotpath.json — the input for EXPERIMENTS.md's
+# before/after allocation table.
+#
+#   scripts/bench.sh                     # default 20000x iterations
+#   BENCHTIME=100x scripts/bench.sh      # quick smoke (used by check)
+#   ENGINE='.' scripts/bench.sh          # include the baselines too
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-20000x}"
+ENGINE="${ENGINE:-^dbtoaster$}"
+PATTERN="^(BenchmarkFinancial|BenchmarkWarehouse|BenchmarkPaperQueryRST)/$ENGINE"
+OUT="${OUT:-BENCH_hotpath.json}"
+
+raw=$(go test -run xxx -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v benchtime="$BENCHTIME" '
+BEGIN {
+    print "{"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    print "  \"benchmarks\": ["
+    first = 1
+}
+/^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = "null"; aop = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bop, aop
+}
+END {
+    print ""
+    print "  ]"
+    print "}"
+}' > "$OUT"
+echo "wrote $OUT"
