@@ -83,7 +83,7 @@ func main() {
 
 	engines := []string{"dbtoaster", "naive-reeval", "first-order-ivm"}
 	if *ablation {
-		engines = append(engines, "dbtoaster-interp", "dbtoaster-noslice")
+		engines = append(engines, "dbtoaster-interp", "dbtoaster-noslice", "dbtoaster-generic")
 	}
 	if len(shardCounts) > 0 {
 		engines = append(engines, fmt.Sprintf("dbtoaster-sharded-%d", shardCounts[len(shardCounts)-1]))

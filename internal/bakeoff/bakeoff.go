@@ -72,6 +72,8 @@ func buildEngine(name string, q *engine.Query) (engine.Engine, error) {
 		return engine.NewToaster(q, runtime.Options{Interpret: true})
 	case "dbtoaster-noslice":
 		return engine.NewToaster(q, runtime.Options{NoSliceIndex: true})
+	case "dbtoaster-generic":
+		return engine.NewToaster(q, runtime.Options{NoTypedStorage: true})
 	case "naive-reeval":
 		return engine.NewNaive(q), nil
 	case "first-order-ivm":

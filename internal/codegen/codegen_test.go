@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"fmt"
 	"go/format"
 	"go/parser"
 	"go/token"
@@ -139,5 +140,45 @@ func main() {
 	}
 	if !strings.Contains(string(out), "OK") {
 		t.Fatalf("unexpected output %q", out)
+	}
+}
+
+// TestGeneratedCodeBuildChecks writes the generated package for two
+// representative queries — a composite-key equijoin chain and a mixed
+// string/float/int grouped aggregate — into a throwaway module and runs
+// `go build`, so every type the annotation-driven emitter picks is
+// checked by the real compiler, not just the parser.
+func TestGeneratedCodeBuildChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping toolchain invocation")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	queries := map[string]string{
+		"join.go":  "select R.B, sum(A*D) from R, S, T where R.B=S.B and S.C=T.C group by R.B",
+		"group.go": "select region, qty, sum(amount), count(*) from sales where qty > 1 group by region, qty",
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module generated\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for file, src := range queries {
+		code := generate(t, src)
+		// One package per query directory so State types don't collide.
+		sub := filepath.Join(dir, fmt.Sprintf("q%d", i))
+		i++
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, file), []byte(code), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("generated packages do not build: %v\n%s", err, out)
 	}
 }

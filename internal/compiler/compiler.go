@@ -165,7 +165,12 @@ func (c *Compiler) finish() error {
 	for _, k := range keys {
 		c.prog.Triggers = append(c.prog.Triggers, c.trigs[k])
 	}
-	return c.prog.SortStmts()
+	if err := c.prog.SortStmts(); err != nil {
+		return err
+	}
+	// Static typing pass: annotate maps, triggers, and expressions so the
+	// runtime can select specialized storage and unboxed kernels.
+	return ir.InferTypes(c.prog, c.cat)
 }
 
 // compileQuery registers result maps for a query and, recursively, its

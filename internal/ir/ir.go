@@ -44,6 +44,18 @@ type MapDecl struct {
 	// Sorted requests a sorted mirror (order-statistic treap) so the
 	// runtime can answer extremum and threshold range reads.
 	Sorted bool
+	// KeyKinds[i] is the statically inferred kind of key column i, filled
+	// by InferTypes from the catalog and the map's defining algebra. Nil
+	// on untyped programs; an entry may be KindNull when inference found
+	// conflicting kinds for a position (the runtime then falls back to
+	// generic storage for the map).
+	KeyKinds []types.Kind
+	// ValueKind is the inferred kind of the aggregate value: KindInt when
+	// every contribution to the sum is integral, KindFloat otherwise,
+	// KindNull on untyped programs. Storage accumulates in float64 either
+	// way (lookups read as float, matching the generic engine); the
+	// annotation types generated code and result rendering.
+	ValueKind types.Kind
 }
 
 // Arity returns the number of key columns.
@@ -55,6 +67,9 @@ type Trigger struct {
 	Insert   bool
 	Params   []algebra.Var
 	Stmts    []*Stmt
+	// ParamKinds[i] is the catalog kind of the i-th event column, filled
+	// by InferTypes (nil on untyped programs).
+	ParamKinds []types.Kind
 }
 
 // Name renders "+R" / "-R".
@@ -96,29 +111,44 @@ type Let struct {
 	Expr Expr
 }
 
-// Expr is a scalar runtime expression.
+// Expr is a scalar runtime expression. Kind reports the statically
+// inferred result type (KindNull until InferTypes has annotated the
+// program — consumers must treat KindNull as "unknown" and fall back to
+// dynamic evaluation).
 type Expr interface {
 	fmt.Stringer
 	exprNode()
+	Kind() types.Kind
 }
 
 // Const is a literal value.
 type Const struct{ Value types.Value }
 
 // VarRef reads a trigger parameter, loop variable, or let binding.
-type VarRef struct{ Name algebra.Var }
+type VarRef struct {
+	Name algebra.Var
+	// Type is the variable's inferred kind (filled by InferTypes).
+	Type types.Kind
+}
 
 // Lookup reads Map[Keys] (0 when absent). A zero-key lookup reads a
 // scalar map.
 type Lookup struct {
 	Map  string
 	Keys []Expr
+	// Type is the lookup's result kind. The runtime reads every map value
+	// as float, so InferTypes always annotates KindFloat.
+	Type types.Kind
 }
 
 // Arith combines two expressions with +, -, *, or /.
 type Arith struct {
 	Op   byte
 	L, R Expr
+	// Type is the result kind under the runtime's numeric promotion:
+	// int op int stays int (including /, which truncates), anything else
+	// is float.
+	Type types.Kind
 }
 
 // CmpE is a comparison yielding 1 or 0.
@@ -132,6 +162,21 @@ func (*VarRef) exprNode() {}
 func (*Lookup) exprNode() {}
 func (*Arith) exprNode()  {}
 func (*CmpE) exprNode()   {}
+
+// Kind implements Expr: a constant's kind is its value's kind.
+func (c *Const) Kind() types.Kind { return c.Value.Kind() }
+
+// Kind implements Expr.
+func (v *VarRef) Kind() types.Kind { return v.Type }
+
+// Kind implements Expr.
+func (l *Lookup) Kind() types.Kind { return l.Type }
+
+// Kind implements Expr.
+func (a *Arith) Kind() types.Kind { return a.Type }
+
+// Kind implements Expr: comparisons always yield the integers 1 or 0.
+func (c *CmpE) Kind() types.Kind { return types.KindInt }
 
 func (c *Const) String() string  { return c.Value.String() }
 func (v *VarRef) String() string { return v.Name }

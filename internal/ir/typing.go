@@ -1,0 +1,265 @@
+package ir
+
+import (
+	"fmt"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+// InferTypes is the static typing pass over a compiled trigger program: the
+// bridge between the catalog's column types and the runtime's physical
+// layer. It fills MapDecl.KeyKinds/ValueKind, Trigger.ParamKinds, and the
+// Type annotation of every expression in every statement, so that the
+// runtime can pick specialized map storage and unboxed kernels, and codegen
+// can emit natively-typed Go — all from one inference.
+//
+// The rules mirror the generic runtime's dynamic semantics exactly:
+//
+//   - relation columns carry their catalog kind; lifted variables carry
+//     their defining expression's kind (resolved to a fixed point);
+//   - map lookups are always KindFloat (the runtime accumulates every
+//     aggregate in float64 and reads it back as a float value);
+//   - int op int stays int for +, -, *, and / (types.Div truncates);
+//     any other known combination promotes to float;
+//   - comparisons yield the integers 1 or 0.
+//
+// Positions whose kind cannot be established — or where two relations bind
+// the same variable with conflicting kinds — are annotated KindNull
+// ("unknown"); consumers must fall back to generic dynamic evaluation for
+// them. InferTypes only errors when the program references a relation the
+// catalog does not know, which indicates a compiler bug rather than an
+// exotic query.
+func InferTypes(prog *Program, cat *schema.Catalog) error {
+	for _, name := range prog.MapOrder {
+		if err := inferMapKinds(prog.Maps[name], cat); err != nil {
+			return err
+		}
+	}
+	for _, t := range prog.Triggers {
+		rel, ok := cat.Relation(t.Relation)
+		if !ok {
+			return fmt.Errorf("ir: trigger references unknown relation %q", t.Relation)
+		}
+		t.ParamKinds = make([]types.Kind, len(t.Params))
+		for i := range t.Params {
+			if i < len(rel.Columns) {
+				t.ParamKinds[i] = rel.Columns[i].Type
+			}
+		}
+		for _, s := range t.Stmts {
+			annotateStmt(prog, t, s)
+		}
+	}
+	return nil
+}
+
+// inferMapKinds derives one map's key kinds and value kind from its
+// defining algebra term.
+func inferMapKinds(m *MapDecl, cat *schema.Catalog) error {
+	varKinds := map[algebra.Var]types.Kind{}
+	conflict := map[algebra.Var]bool{}
+	factors := flattenBody(m.Definition.Body)
+	// Relation columns first; a variable bound by two relations with
+	// different kinds is a conflict (the access paths would disagree on
+	// the physical representation), so it stays unknown.
+	for _, f := range factors {
+		rel, ok := f.(*algebra.Rel)
+		if !ok {
+			continue
+		}
+		r, ok := cat.Relation(rel.Name)
+		if !ok {
+			return fmt.Errorf("ir: map %s references unknown relation %q", m.Name, rel.Name)
+		}
+		for i, v := range rel.Vars {
+			if i >= len(r.Columns) {
+				continue
+			}
+			k := r.Columns[i].Type
+			if prev, seen := varKinds[v]; seen && prev != k {
+				conflict[v] = true
+				continue
+			}
+			varKinds[v] = k
+		}
+	}
+	for v := range conflict {
+		delete(varKinds, v)
+	}
+	// Lifts next: their expressions close over relation variables, and a
+	// lift may feed another lift, so resolve to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range factors {
+			l, ok := f.(*algebra.Lift)
+			if !ok {
+				continue
+			}
+			if _, done := varKinds[l.Var]; done || conflict[l.Var] {
+				continue
+			}
+			if k := valExprKind(l.Expr, varKinds); k != types.KindNull {
+				varKinds[l.Var] = k
+				changed = true
+			}
+		}
+	}
+	m.KeyKinds = make([]types.Kind, len(m.Keys))
+	for i, v := range m.Keys {
+		m.KeyKinds[i] = varKinds[v] // KindNull when unknown or conflicted
+	}
+	m.ValueKind = bodyValueKind(factors, varKinds)
+	return nil
+}
+
+// flattenBody collects the leaf factors of a product/sum tree. For kind
+// purposes the distinction does not matter: both multiplication and
+// addition promote to float as soon as one operand is float.
+func flattenBody(t algebra.Term) []algebra.Term {
+	switch t := t.(type) {
+	case *algebra.Prod:
+		var out []algebra.Term
+		for _, f := range t.Factors {
+			out = append(out, flattenBody(f)...)
+		}
+		return out
+	case *algebra.Sum:
+		var out []algebra.Term
+		for _, x := range t.Terms {
+			out = append(out, flattenBody(x)...)
+		}
+		return out
+	default:
+		return []algebra.Term{t}
+	}
+}
+
+// bodyValueKind infers the kind of the aggregate value: relations, lifts,
+// and comparisons contribute integral multiplicities; Val factors carry
+// their expression's kind. Anything unknown degrades to float — the
+// accumulator's native representation.
+func bodyValueKind(factors []algebra.Term, vars map[algebra.Var]types.Kind) types.Kind {
+	kind := types.KindInt
+	for _, f := range factors {
+		switch f := f.(type) {
+		case *algebra.Rel, *algebra.Cmp, *algebra.Lift:
+			// multiplicity: integral
+		case *algebra.Val:
+			switch valExprKind(f.Expr, vars) {
+			case types.KindInt:
+			default:
+				kind = types.KindFloat
+			}
+		case *algebra.AggSum:
+			kind = types.KindFloat
+		default:
+			_ = f
+			kind = types.KindFloat
+		}
+	}
+	return kind
+}
+
+// valExprKind types a scalar algebra expression; KindNull means unknown.
+func valExprKind(e algebra.ValExpr, vars map[algebra.Var]types.Kind) types.Kind {
+	switch e := e.(type) {
+	case *algebra.VConst:
+		return e.Value.Kind()
+	case *algebra.VVar:
+		return vars[e.Name]
+	case *algebra.VArith:
+		l := valExprKind(e.L, vars)
+		r := valExprKind(e.R, vars)
+		return arithKind(l, r)
+	}
+	return types.KindNull
+}
+
+// arithKind is the runtime's numeric promotion rule (types.arith/Div):
+// int op int stays int, every other known combination evaluates through
+// Float() and yields float.
+func arithKind(l, r types.Kind) types.Kind {
+	if l == types.KindNull || r == types.KindNull {
+		return types.KindNull
+	}
+	if l == types.KindInt && r == types.KindInt {
+		return types.KindInt
+	}
+	return types.KindFloat
+}
+
+// annotateStmt types one statement: loop variables scope over the key,
+// condition, let, and delta expressions.
+func annotateStmt(prog *Program, t *Trigger, s *Stmt) {
+	env := map[algebra.Var]types.Kind{}
+	for i, p := range t.Params {
+		if i < len(t.ParamKinds) {
+			env[p] = t.ParamKinds[i]
+		}
+	}
+	for li := range s.Loops {
+		lp := &s.Loops[li]
+		var mk []types.Kind
+		if d := prog.Maps[lp.Map]; d != nil {
+			mk = d.KeyKinds
+		}
+		for _, b := range lp.Bound {
+			if b != nil {
+				annotateExpr(prog, b, env)
+			}
+		}
+		for pos, v := range lp.FreeVars {
+			if v == "" {
+				continue
+			}
+			if pos < len(mk) {
+				env[v] = mk[pos]
+			} else {
+				env[v] = types.KindNull
+			}
+		}
+		if lp.ValueVar != "" {
+			env[lp.ValueVar] = types.KindFloat
+		}
+	}
+	for _, lt := range s.Lets {
+		env[lt.Var] = annotateExpr(prog, lt.Expr, env)
+	}
+	for _, k := range s.Keys {
+		annotateExpr(prog, k, env)
+	}
+	if s.Cond != nil {
+		annotateExpr(prog, s.Cond, env)
+	}
+	annotateExpr(prog, s.Delta, env)
+}
+
+// annotateExpr fills Type fields bottom-up and returns the expression's
+// kind.
+func annotateExpr(prog *Program, e Expr, env map[algebra.Var]types.Kind) types.Kind {
+	switch e := e.(type) {
+	case *Const:
+		return e.Value.Kind()
+	case *VarRef:
+		e.Type = env[e.Name]
+		return e.Type
+	case *Lookup:
+		for _, k := range e.Keys {
+			annotateExpr(prog, k, env)
+		}
+		e.Type = types.KindFloat
+		return e.Type
+	case *Arith:
+		l := annotateExpr(prog, e.L, env)
+		r := annotateExpr(prog, e.R, env)
+		e.Type = arithKind(l, r)
+		return e.Type
+	case *CmpE:
+		annotateExpr(prog, e.L, env)
+		annotateExpr(prog, e.R, env)
+		return types.KindInt
+	}
+	return types.KindNull
+}

@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"testing"
+
+	"dbtoaster/internal/algebra"
+	"dbtoaster/internal/schema"
+	"dbtoaster/internal/types"
+)
+
+func typingCatalog() *schema.Catalog {
+	return schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:float"),
+		schema.NewRelation("S", "A:float", "C:int"),
+	)
+}
+
+func TestInferMapKindsFromCatalogAndLifts(t *testing.T) {
+	cat := typingCatalog()
+	decl := &MapDecl{
+		Name: "m1",
+		Keys: []algebra.Var{"@r_a", "@r_b", "v_int", "v_float", "v_div"},
+		Definition: &algebra.AggSum{
+			GroupVars: []algebra.Var{"@r_a", "@r_b", "v_int", "v_float", "v_div"},
+			Body: &algebra.Prod{Factors: []algebra.Term{
+				algebra.NewRel("R", "@r_a", "@r_b"),
+				// chained lifts: v_int feeds v_div, so inference needs the
+				// fixed point, not one pass.
+				&algebra.Lift{Var: "v_div", Expr: &algebra.VArith{Op: '/',
+					L: &algebra.VVar{Name: "v_int"}, R: &algebra.VConst{Value: types.NewInt(2)}}},
+				&algebra.Lift{Var: "v_int", Expr: &algebra.VArith{Op: '*',
+					L: &algebra.VVar{Name: "@r_a"}, R: &algebra.VConst{Value: types.NewInt(3)}}},
+				&algebra.Lift{Var: "v_float", Expr: &algebra.VArith{Op: '+',
+					L: &algebra.VVar{Name: "@r_a"}, R: &algebra.VVar{Name: "@r_b"}}},
+			}},
+		},
+	}
+	if err := inferMapKinds(decl, cat); err != nil {
+		t.Fatal(err)
+	}
+	want := []types.Kind{
+		types.KindInt,   // catalog column
+		types.KindFloat, // catalog column
+		types.KindInt,   // int * int
+		types.KindFloat, // int + float promotes
+		types.KindInt,   // int / int truncates (types.Div)
+	}
+	for i, k := range want {
+		if decl.KeyKinds[i] != k {
+			t.Errorf("KeyKinds[%d] = %v, want %v", i, decl.KeyKinds[i], k)
+		}
+	}
+	if decl.ValueKind != types.KindInt {
+		t.Errorf("ValueKind = %v, want int (pure multiplicity)", decl.ValueKind)
+	}
+}
+
+func TestInferMapKindsConflictStaysUnknown(t *testing.T) {
+	cat := typingCatalog()
+	// @x is int in R's binding and float in S's: the physical layouts would
+	// disagree, so the position must be annotated unknown.
+	decl := &MapDecl{
+		Name: "m1",
+		Keys: []algebra.Var{"@x"},
+		Definition: &algebra.AggSum{
+			GroupVars: []algebra.Var{"@x"},
+			Body: &algebra.Prod{Factors: []algebra.Term{
+				algebra.NewRel("R", "@x", "@rb"),
+				algebra.NewRel("S", "@x", "@sc"),
+			}},
+		},
+	}
+	if err := inferMapKinds(decl, cat); err != nil {
+		t.Fatal(err)
+	}
+	if decl.KeyKinds[0] != types.KindNull {
+		t.Errorf("conflicting key kind = %v, want unknown", decl.KeyKinds[0])
+	}
+}
+
+func TestInferMapKindsFloatValue(t *testing.T) {
+	cat := typingCatalog()
+	decl := &MapDecl{
+		Name: "m1",
+		Keys: []algebra.Var{"@r_a"},
+		Definition: &algebra.AggSum{
+			GroupVars: []algebra.Var{"@r_a"},
+			Body: &algebra.Prod{Factors: []algebra.Term{
+				algebra.NewRel("R", "@r_a", "@r_b"),
+				&algebra.Val{Expr: &algebra.VVar{Name: "@r_b"}},
+			}},
+		},
+	}
+	if err := inferMapKinds(decl, cat); err != nil {
+		t.Fatal(err)
+	}
+	if decl.ValueKind != types.KindFloat {
+		t.Errorf("ValueKind = %v, want float (float measure)", decl.ValueKind)
+	}
+}
+
+func TestInferTypesAnnotatesTriggers(t *testing.T) {
+	cat := typingCatalog()
+	m1 := &MapDecl{
+		Name: "m1",
+		Keys: []algebra.Var{"@r_a"},
+		Definition: &algebra.AggSum{
+			GroupVars: []algebra.Var{"@r_a"},
+			Body:      algebra.NewRel("R", "@r_a", "@r_b"),
+		},
+	}
+	lookup := &Lookup{Map: "m1", Keys: []Expr{&VarRef{Name: "@r_a"}}}
+	delta := &Arith{Op: '*', L: &VarRef{Name: "@r_b"}, R: lookup}
+	keyRef := &VarRef{Name: "@r_a"}
+	prog := &Program{
+		Maps:     map[string]*MapDecl{"m1": m1},
+		MapOrder: []string{"m1"},
+		Triggers: []*Trigger{{
+			Relation: "R", Insert: true,
+			Params: []algebra.Var{"@r_a", "@r_b"},
+			Stmts: []*Stmt{{
+				Target: "m1",
+				Keys:   []Expr{keyRef},
+				Delta:  delta,
+			}},
+		}},
+	}
+	if err := InferTypes(prog, cat); err != nil {
+		t.Fatal(err)
+	}
+	tr := prog.Triggers[0]
+	if len(tr.ParamKinds) != 2 || tr.ParamKinds[0] != types.KindInt || tr.ParamKinds[1] != types.KindFloat {
+		t.Errorf("ParamKinds = %v, want [int float]", tr.ParamKinds)
+	}
+	if keyRef.Type != types.KindInt {
+		t.Errorf("key VarRef type = %v, want int", keyRef.Type)
+	}
+	if lookup.Type != types.KindFloat {
+		t.Errorf("Lookup type = %v, want float (runtime accumulates float64)", lookup.Type)
+	}
+	if delta.Type != types.KindFloat {
+		t.Errorf("delta type = %v, want float (float * float-lookup)", delta.Type)
+	}
+}
+
+func TestInferTypesUnknownRelation(t *testing.T) {
+	cat := typingCatalog()
+	prog := &Program{
+		Maps:     map[string]*MapDecl{},
+		Triggers: []*Trigger{{Relation: "Nope", Insert: true}},
+	}
+	if err := InferTypes(prog, cat); err == nil {
+		t.Error("unknown trigger relation accepted")
+	}
+}

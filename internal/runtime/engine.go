@@ -20,6 +20,10 @@ type Options struct {
 	// statement execution; run() performs the statement. The debugger uses
 	// it for stepping and map-diff tracing.
 	StmtWrapper func(stmt *ir.Stmt, run func() error) error
+	// NoTypedStorage forces generic map storage and boxed closures even
+	// for programs whose type annotations would allow packed int keys and
+	// unboxed kernels (ablation and differential baseline).
+	NoTypedStorage bool
 }
 
 // Engine executes one compiled trigger program over its view maps.
@@ -40,6 +44,12 @@ type Engine struct {
 	ikey   types.Tuple
 	ibound []types.Tuple
 	events uint64
+	// demote collects packed maps that typed compilation could not prove
+	// safe; non-empty after construction means NewEngine must rebuild.
+	demote map[string]bool
+	// intPos marks key positions statically guaranteed to hold KindInt
+	// values (typed mode only; see guaranteedIntPositions).
+	intPos map[string][]bool
 }
 
 type compiledTrigger struct {
@@ -48,15 +58,82 @@ type compiledTrigger struct {
 	env   *cenv    // reusable environment (closure mode)
 	ienv  map[string]types.Value
 	slots map[string]int
+	// checks validate and unbox typed parameters at event entry (typed
+	// mode only; empty in generic mode).
+	checks []paramCheck
 }
 
-type cenv struct{ slots []types.Value }
+// cenv is the reusable per-trigger execution environment: boxed slots for
+// generic closures plus unboxed int/float slot arrays for typed kernels.
+type cenv struct {
+	slots  []types.Value
+	ints   []int64
+	floats []float64
+}
 
 type stmtFn func(env *cenv)
 
 // NewEngine builds maps, slice indexes, and (unless interpreting) the
 // per-trigger closures.
+//
+// When the program carries type annotations (ir.InferTypes) and no option
+// forces the generic path, maps with all-int keys of arity 1 or 2 use
+// packed storage and statements compile to unboxed typed kernels. Storage
+// selection is optimistic: compilation demotes any packed map with an
+// access site it cannot prove int-safe and the engine is rebuilt with that
+// map generic; each rebuild bans at least one map, so the loop terminates.
 func NewEngine(prog *ir.Program, opts Options) (*Engine, error) {
+	banned := map[string]bool{}
+	for {
+		e, err := newEngine(prog, opts, banned)
+		if err != nil {
+			return nil, err
+		}
+		if len(e.demote) == 0 {
+			return e, nil
+		}
+		progress := false
+		for name := range e.demote {
+			if !banned[name] {
+				banned[name] = true
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("runtime: typed compilation failed to converge (demoted: %v)", e.demote)
+		}
+	}
+}
+
+// typedMode reports whether typed storage and kernels apply: the boxed
+// interpreter paths (ablation and debugger) require generic maps.
+func (o Options) typedMode() bool {
+	return !o.NoTypedStorage && !o.Interpret && o.StmtWrapper == nil
+}
+
+// mapLayout selects a map's physical layout: packed storage requires every
+// key position to be statically guaranteed int (see
+// guaranteedIntPositions), arity 1 or 2, and no sorted mirror.
+func mapLayout(d *ir.MapDecl, banned map[string]bool, intPos map[string][]bool) storeKind {
+	if banned[d.Name] || d.Sorted || len(d.Keys) == 0 || len(d.Keys) > 2 {
+		return storeGeneric
+	}
+	g := intPos[d.Name]
+	if len(g) != len(d.Keys) {
+		return storeGeneric
+	}
+	for _, ok := range g {
+		if !ok {
+			return storeGeneric
+		}
+	}
+	if len(d.Keys) == 1 {
+		return storeI1
+	}
+	return storeI2
+}
+
+func newEngine(prog *ir.Program, opts Options, banned map[string]bool) (*Engine, error) {
 	e := &Engine{
 		prog:     prog,
 		opts:     opts,
@@ -64,9 +141,18 @@ func NewEngine(prog *ir.Program, opts Options) (*Engine, error) {
 		triggers: make(map[string]*compiledTrigger),
 		trigIns:  make(map[string]*compiledTrigger),
 		trigDel:  make(map[string]*compiledTrigger),
+		demote:   map[string]bool{},
+	}
+	typed := opts.typedMode()
+	if typed {
+		e.intPos = guaranteedIntPositions(prog)
 	}
 	for _, name := range prog.MapOrder {
-		e.maps[name] = NewMap(prog.Maps[name])
+		kind := storeGeneric
+		if typed {
+			kind = mapLayout(prog.Maps[name], banned, e.intPos)
+		}
+		e.maps[name] = newMapWithKind(prog.Maps[name], kind)
 	}
 	// Register slice indexes before any data arrives.
 	if !opts.NoSliceIndex {
@@ -81,7 +167,13 @@ func NewEngine(prog *ir.Program, opts Options) (*Engine, error) {
 		}
 	}
 	for _, t := range prog.Triggers {
-		ct, err := e.compileTrigger(t)
+		var ct *compiledTrigger
+		var err error
+		if typed {
+			ct, err = e.compileTriggerTyped(t)
+		} else {
+			ct, err = e.compileTrigger(t)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -168,6 +260,22 @@ func (e *Engine) OnEvent(rel string, insert bool, args types.Tuple) error {
 		return nil
 	}
 	copy(ct.env.slots, args)
+	// Typed kernels read parameters from unboxed slots; the kind check is
+	// what makes every downstream int/float assumption sound. The schema
+	// layer coerces events before they reach the runtime, so a mismatch
+	// indicates a caller bypassing validation.
+	for _, pc := range ct.checks {
+		v := args[pc.arg]
+		if v.Kind() != pc.kind {
+			return fmt.Errorf("runtime: event %s arg %d is %s, declared %s",
+				ct.trig.Name(), pc.arg, v.Kind(), pc.kind)
+		}
+		if pc.kind == types.KindInt {
+			ct.env.ints[pc.slot] = v.Int()
+		} else {
+			ct.env.floats[pc.slot] = v.Float()
+		}
+	}
 	for _, fn := range ct.fns {
 		fn(ct.env)
 	}

@@ -4,6 +4,14 @@
 // subset of key positions, backing the compiler's foreach loops) and a
 // sorted treap mirror (backing MIN/MAX and threshold range reads).
 //
+// Maps come in two physical layouts selected from the program's static
+// type annotations (ir.InferTypes). All-int key tuples of arity 1 or 2
+// pack into native uint64 / [2]uint64 Go map keys with unboxed float64
+// values — no types.Value boxing, no variable-length byte-key encoding,
+// no per-operation kind dispatch. Everything else (string or float keys,
+// arity ≥ 3, sorted mirrors, untyped programs) uses the generic layout:
+// a byte-encoded key string probed through reused scratch buffers.
+//
 // Programs run either as pre-compiled closures — the Go analogue of the
 // paper's generated C++ — or through a direct IR interpreter kept for the
 // interpretation-overhead ablation. Engines are single-goroutine: one
@@ -19,16 +27,51 @@ import (
 	"dbtoaster/internal/types"
 )
 
+// storeKind selects a map's physical layout.
+type storeKind uint8
+
+const (
+	// storeGeneric keys on the injective byte encoding of the tuple.
+	storeGeneric storeKind = iota
+	// storeI1 packs a single int key into a uint64.
+	storeI1
+	// storeI2 packs two int keys into a [2]uint64.
+	storeI2
+)
+
+func (k storeKind) String() string {
+	switch k {
+	case storeI1:
+		return "int1"
+	case storeI2:
+		return "int2"
+	default:
+		return "generic"
+	}
+}
+
 // Map is one materialized view map.
 type Map struct {
-	decl    *ir.MapDecl
+	decl *ir.MapDecl
+	kind storeKind
+
+	// Generic layout.
 	entries map[types.Key]*entry
 	slices  []*sliceIndex
-	sorted  *treap.Tree
+
+	// Typed layouts: packed int keys, unboxed float64 values.
+	i1       map[uint64]float64
+	i2       map[[2]uint64]float64
+	i2slices []*i2Slice
+
+	sorted *treap.Tree
 	// scratch is the reused key-encoding buffer: Get/Add encode the key
 	// tuple into it and probe with the zero-allocation m[Key(buf)] idiom.
 	// Maps are single-goroutine, like the engines that own them.
 	scratch []byte
+	// scanBuf is the reused tuple typed layouts unpack into during Scan;
+	// it is only valid inside the visit callback.
+	scanBuf types.Tuple
 	// updates counts non-zero Add calls: the per-map overhead breakdown
 	// the paper's profiler displays (§4.2).
 	updates uint64
@@ -48,12 +91,42 @@ type sliceIndex struct {
 	positions []int // bound key positions
 	buckets   map[types.Key]map[types.Key]*entry
 	scratch   []byte // reused bound-key encoding buffer
+	// typed/owner are set on two-int-key maps: the handle fronts a packed
+	// index and Iterate delegates to it.
+	typed *i2Slice
+	owner *Map
 }
 
-// NewMap creates an empty map for the declaration; a sorted mirror is
-// attached when the compiler requested one.
+// i2Slice is the specialized secondary index for two-int-key maps: one
+// bound position, buckets keyed by the bound value, each bucket holding
+// the full packed keys (with their values duplicated so iteration never
+// needs a second probe of the primary map).
+type i2Slice struct {
+	pos     int // the bound key position (0 or 1)
+	buckets map[uint64]map[[2]uint64]float64
+}
+
+// NewMap creates an empty generic-layout map for the declaration; a sorted
+// mirror is attached when the compiler requested one. Engines call
+// newMapWithKind to select a specialized layout from the program's type
+// annotations.
 func NewMap(decl *ir.MapDecl) *Map {
-	m := &Map{decl: decl, entries: make(map[types.Key]*entry)}
+	return newMapWithKind(decl, storeGeneric)
+}
+
+func newMapWithKind(decl *ir.MapDecl, kind storeKind) *Map {
+	if kind != storeGeneric && decl.Sorted {
+		panic("runtime: sorted maps must use generic storage")
+	}
+	m := &Map{decl: decl, kind: kind}
+	switch kind {
+	case storeI1:
+		m.i1 = make(map[uint64]float64)
+	case storeI2:
+		m.i2 = make(map[[2]uint64]float64)
+	default:
+		m.entries = make(map[types.Key]*entry)
+	}
 	if decl.Sorted {
 		m.sorted = treap.New()
 	}
@@ -67,18 +140,47 @@ func (m *Map) Decl() *ir.MapDecl { return m.decl }
 func (m *Map) Name() string { return m.decl.Name }
 
 // Len returns the number of non-zero entries.
-func (m *Map) Len() int { return len(m.entries) }
+func (m *Map) Len() int {
+	switch m.kind {
+	case storeI1:
+		return len(m.i1)
+	case storeI2:
+		return len(m.i2)
+	default:
+		return len(m.entries)
+	}
+}
 
-// Get returns the value at key (0 when absent). Allocation-free: the key
-// encodes into the map's scratch buffer.
+// packInt converts one tuple position of a typed map to its packed form.
+// Typed layouts exist only for maps whose every access site is statically
+// int; a non-int value here means the caller bypassed the type system.
+func (m *Map) packInt(v types.Value) uint64 {
+	if v.Kind() != types.KindInt {
+		panic(fmt.Sprintf("runtime: typed map %s accessed with %s key %v", m.Name(), v.Kind(), v))
+	}
+	return uint64(v.Int())
+}
+
+// Get returns the value at key (0 when absent). Allocation-free: generic
+// layouts encode the key into the map's scratch buffer, typed layouts
+// pack it into native ints.
 func (m *Map) Get(key types.Tuple) float64 {
-	m.scratch = types.AppendKey(m.scratch[:0], key)
-	return m.GetKey(m.scratch)
+	switch m.kind {
+	case storeI1:
+		return m.i1[m.packInt(key[0])]
+	case storeI2:
+		return m.i2[[2]uint64{m.packInt(key[0]), m.packInt(key[1])}]
+	default:
+		m.scratch = types.AppendKey(m.scratch[:0], key)
+		return m.GetKey(m.scratch)
+	}
 }
 
 // GetKey returns the value at a pre-encoded key (the types.AppendKey wire
 // form; 0 when absent). Compiled closures that already hold the encoded
-// bytes probe through here so each key is encoded exactly once.
+// bytes probe through here so each key is encoded exactly once. Only valid
+// on generic-layout maps; typed layouts are probed through their packed
+// accessors.
 func (m *Map) GetKey(k []byte) float64 {
 	if e, ok := m.entries[types.Key(k)]; ok {
 		return e.val
@@ -90,18 +192,27 @@ func (m *Map) GetKey(k []byte) float64 {
 // (0 and absent are semantically identical for ring aggregates, and
 // removal keeps loop enumerations tight under deletions). Steady-state
 // updates to existing entries are allocation-free; only first inserts
-// materialize a Key string and clone the tuple.
+// into the generic layout materialize a Key string and clone the tuple
+// (typed layouts never allocate per entry).
 func (m *Map) Add(key types.Tuple, delta float64) {
 	if delta == 0 {
 		return
 	}
-	m.scratch = types.AppendKey(m.scratch[:0], key)
-	m.AddKey(m.scratch, key, delta)
+	switch m.kind {
+	case storeI1:
+		m.addI1(m.packInt(key[0]), delta)
+	case storeI2:
+		m.addI2([2]uint64{m.packInt(key[0]), m.packInt(key[1])}, delta)
+	default:
+		m.scratch = types.AppendKey(m.scratch[:0], key)
+		m.AddKey(m.scratch, key, delta)
+	}
 }
 
 // AddKey is Add with a pre-encoded key: k must be the types.AppendKey
 // encoding of key. The caller keeps ownership of k (it may be a reused
 // scratch buffer); AddKey copies it only when inserting a new entry.
+// Generic layout only, like GetKey.
 func (m *Map) AddKey(k []byte, key types.Tuple, delta float64) {
 	if delta == 0 {
 		return
@@ -134,23 +245,109 @@ func (m *Map) AddKey(k []byte, key types.Tuple, delta float64) {
 	}
 }
 
-// Scan visits every entry.
-func (m *Map) Scan(f func(types.Tuple, float64)) {
-	for _, e := range m.entries {
-		f(e.tuple, e.val)
+// addI1 is the packed add for one-int-key maps.
+func (m *Map) addI1(k uint64, delta float64) {
+	if delta == 0 {
+		return
+	}
+	m.updates++
+	old, ok := m.i1[k]
+	v := old + delta
+	if v == 0 {
+		if ok {
+			delete(m.i1, k)
+		}
+		return
+	}
+	m.i1[k] = v
+	if !ok && len(m.i1) > m.peak {
+		m.peak = len(m.i1)
 	}
 }
 
-// ScanSorted visits entries in key order (requires nothing extra: it sorts
-// a snapshot; intended for result formatting, not hot paths).
-func (m *Map) ScanSorted(f func(types.Tuple, float64)) {
-	es := make([]*entry, 0, len(m.entries))
-	for _, e := range m.entries {
-		es = append(es, e)
+// addI2 is the packed add for two-int-key maps; slice buckets carry the
+// value alongside the primary map so loop iteration reads them directly.
+func (m *Map) addI2(k [2]uint64, delta float64) {
+	if delta == 0 {
+		return
 	}
-	sort.Slice(es, func(i, j int) bool { return es[i].tuple.Compare(es[j].tuple) < 0 })
+	m.updates++
+	old, ok := m.i2[k]
+	v := old + delta
+	if v == 0 {
+		if ok {
+			delete(m.i2, k)
+			for _, s := range m.i2slices {
+				s.remove(k)
+			}
+		}
+		return
+	}
+	m.i2[k] = v
+	for _, s := range m.i2slices {
+		s.set(k, v)
+	}
+	if !ok && len(m.i2) > m.peak {
+		m.peak = len(m.i2)
+	}
+}
+
+// Scan visits every entry. For typed layouts the tuple passed to f is a
+// reused buffer valid only during the callback — Clone it to retain it
+// (generic layouts pass the stored tuple, but callers should not rely on
+// the stronger contract).
+func (m *Map) Scan(f func(types.Tuple, float64)) {
+	switch m.kind {
+	case storeI1:
+		t := m.ensureScanBuf(1)
+		for k, v := range m.i1 {
+			t[0] = types.NewInt(int64(k))
+			f(t, v)
+		}
+	case storeI2:
+		t := m.ensureScanBuf(2)
+		for k, v := range m.i2 {
+			t[0] = types.NewInt(int64(k[0]))
+			t[1] = types.NewInt(int64(k[1]))
+			f(t, v)
+		}
+	default:
+		for _, e := range m.entries {
+			f(e.tuple, e.val)
+		}
+	}
+}
+
+func (m *Map) ensureScanBuf(n int) types.Tuple {
+	if cap(m.scanBuf) < n {
+		m.scanBuf = make(types.Tuple, n)
+	}
+	return m.scanBuf[:n]
+}
+
+// ScanSorted visits entries in ascending key order. Maps with a sorted
+// mirror walk the order-statistic treap directly (O(n)); others sort a
+// snapshot (O(n log n); intended for result formatting, not hot paths).
+// Like Scan, the tuple is only valid during the callback.
+func (m *Map) ScanSorted(f func(types.Tuple, float64)) {
+	if m.sorted != nil {
+		m.sorted.Walk(func(t types.Tuple, v float64) bool {
+			f(t, v)
+			return true
+		})
+		return
+	}
+	type kv struct {
+		t types.Tuple
+		v float64
+	}
+	es := make([]kv, 0, m.Len())
+	m.Scan(func(t types.Tuple, v float64) {
+		es = append(es, kv{t: t.Clone(), v: v})
+	})
+	sort.Slice(es, func(i, j int) bool { return es[i].t.Compare(es[j].t) < 0 })
 	for _, e := range es {
-		f(e.tuple, e.val)
+		f(e.t, e.v)
 	}
 }
 
@@ -159,22 +356,65 @@ func (m *Map) Tree() *treap.Tree { return m.sorted }
 
 // EnsureSlice registers a secondary index over the given bound positions,
 // returning its handle. Must be called before any entries exist (the
-// engine does this at construction from the program's loops).
+// engine does this at construction from the program's loops). On typed
+// two-int-key maps the handle fronts a specialized packed index.
 func (m *Map) EnsureSlice(positions []int) *sliceIndex {
 	for _, s := range m.slices {
 		if equalInts(s.positions, positions) {
 			return s
 		}
 	}
-	if len(m.entries) > 0 {
+	if m.Len() > 0 {
 		panic("runtime: EnsureSlice after entries exist")
 	}
-	s := &sliceIndex{
-		positions: append([]int{}, positions...),
-		buckets:   make(map[types.Key]map[types.Key]*entry),
+	s := &sliceIndex{positions: append([]int{}, positions...)}
+	switch m.kind {
+	case storeI2:
+		// A proper slice over a 2-key map binds exactly one position.
+		if len(positions) != 1 {
+			panic(fmt.Sprintf("runtime: slice over %d positions of two-key map %s", len(positions), m.Name()))
+		}
+		ts := &i2Slice{pos: positions[0], buckets: make(map[uint64]map[[2]uint64]float64)}
+		m.i2slices = append(m.i2slices, ts)
+		s.typed = ts
+		s.owner = m
+	case storeI1:
+		// Binding the only position of a one-key map degenerates to a
+		// point probe; no index structure needed.
+		if len(positions) != 1 || positions[0] != 0 {
+			panic(fmt.Sprintf("runtime: invalid slice positions %v for one-key map %s", positions, m.Name()))
+		}
+		s.owner = m
+	default:
+		s.buckets = make(map[types.Key]map[types.Key]*entry)
 	}
 	m.slices = append(m.slices, s)
 	return s
+}
+
+// ensureI2Slice returns the packed index for one bound position of a
+// two-int-key map (registering it if needed); compiled typed loops
+// iterate it directly.
+func (m *Map) ensureI2Slice(pos int) *i2Slice {
+	return m.EnsureSlice([]int{pos}).typed
+}
+
+func (s *i2Slice) set(k [2]uint64, v float64) {
+	b, ok := s.buckets[k[s.pos]]
+	if !ok {
+		b = make(map[[2]uint64]float64)
+		s.buckets[k[s.pos]] = b
+	}
+	b[k] = v
+}
+
+func (s *i2Slice) remove(k [2]uint64) {
+	if b, ok := s.buckets[k[s.pos]]; ok {
+		delete(b, k)
+		if len(b) == 0 {
+			delete(s.buckets, k[s.pos])
+		}
+	}
 }
 
 // appendBoundKey encodes the bound-position sub-tuple of t into the
@@ -206,8 +446,31 @@ func (s *sliceIndex) remove(e *entry) {
 	}
 }
 
-// Iterate visits entries whose bound positions equal boundVals.
+// Iterate visits entries whose bound positions equal boundVals. Like
+// Scan, typed layouts pass a reused tuple valid only during the callback.
 func (s *sliceIndex) Iterate(boundVals types.Tuple, f func(types.Tuple, float64)) {
+	if s.typed != nil {
+		m := s.owner
+		t := m.ensureScanBuf(2)
+		if b, ok := s.typed.buckets[m.packInt(boundVals[0])]; ok {
+			for k, v := range b {
+				t[0] = types.NewInt(int64(k[0]))
+				t[1] = types.NewInt(int64(k[1]))
+				f(t, v)
+			}
+		}
+		return
+	}
+	if s.owner != nil && s.owner.kind == storeI1 {
+		m := s.owner
+		k := m.packInt(boundVals[0])
+		if v, ok := m.i1[k]; ok {
+			t := m.ensureScanBuf(1)
+			t[0] = types.NewInt(int64(k))
+			f(t, v)
+		}
+		return
+	}
 	s.scratch = types.AppendKey(s.scratch[:0], boundVals)
 	if b, ok := s.buckets[types.Key(s.scratch)]; ok {
 		for _, e := range b {
@@ -237,18 +500,19 @@ type MemStats struct {
 	Updates uint64
 	Slices  int
 	Sorted  bool
+	// Layout is the physical storage layout ("int1", "int2", "generic").
+	Layout string
 }
 
 // Stats reports the map's footprint and update count.
 func (m *Map) Stats() MemStats {
 	return MemStats{
 		Name:    m.Name(),
-		Entries: len(m.entries),
+		Entries: m.Len(),
 		Peak:    m.peak,
 		Updates: m.updates,
 		Slices:  len(m.slices),
 		Sorted:  m.sorted != nil,
+		Layout:  m.kind.String(),
 	}
 }
-
-var _ = fmt.Sprintf

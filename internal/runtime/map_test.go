@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -223,5 +224,103 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 	}
 	if err := eng.Restore(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+// TestScanSortedTreapMatchesSnapshot pins the two ScanSorted paths to each
+// other: a sorted map (order-statistic treap mirror, walked directly) and
+// an unsorted map (snapshot + sort) fed the same random add/delete stream
+// must visit identical (key, value) sequences.
+func TestScanSortedTreapMatchesSnapshot(t *testing.T) {
+	mirror := newTestMap(true, "k0", "k1")
+	plain := newTestMap(false, "k0", "k1")
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		key := k(int64(r.Intn(20)), int64(r.Intn(20)))
+		d := float64(r.Intn(9) - 4)
+		mirror.Add(key, d)
+		plain.Add(key, d)
+	}
+	type kv struct {
+		k0, k1 int64
+		v      float64
+	}
+	collect := func(m *Map) []kv {
+		var out []kv
+		m.ScanSorted(func(tp types.Tuple, v float64) {
+			out = append(out, kv{tp[0].Int(), tp[1].Int(), v})
+		})
+		return out
+	}
+	want, got := collect(mirror), collect(plain)
+	if len(want) == 0 {
+		t.Fatal("degenerate stream: empty map")
+	}
+	if len(want) != len(got) {
+		t.Fatalf("entry counts differ: treap %d, snapshot %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("entry %d differs: treap %+v, snapshot %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestTypedMapPackedParity drives identical streams through the packed
+// int-key layouts and the generic byte-key layout and requires identical
+// contents, zero-entry removal, and ScanSorted output.
+func TestTypedMapPackedParity(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		kind  storeKind
+		arity int
+	}{
+		{"int1", storeI1, 1},
+		{"int2", storeI2, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := []algebra.Var{"k0", "k1"}[:tc.arity]
+			decl := &ir.MapDecl{Name: "t", Keys: keys,
+				Definition: &algebra.AggSum{GroupVars: keys, Body: algebra.One()}}
+			packed := newMapWithKind(decl, tc.kind)
+			generic := NewMap(decl)
+			r := rand.New(rand.NewSource(23))
+			mk := func() types.Tuple {
+				vals := make([]int64, tc.arity)
+				for i := range vals {
+					vals[i] = int64(r.Intn(12) - 6) // negative keys pack too
+				}
+				return k(vals...)
+			}
+			for i := 0; i < 4000; i++ {
+				key := mk()
+				d := float64(r.Intn(9) - 4)
+				packed.Add(key, d)
+				generic.Add(key, d)
+			}
+			if packed.Len() != generic.Len() {
+				t.Fatalf("lengths differ: packed %d, generic %d", packed.Len(), generic.Len())
+			}
+			generic.Scan(func(tp types.Tuple, v float64) {
+				if got := packed.Get(tp); got != v {
+					t.Fatalf("key %v: packed %v, generic %v", tp, got, v)
+				}
+			})
+			var ps, gs []string
+			packed.ScanSorted(func(tp types.Tuple, v float64) {
+				ps = append(ps, fmt.Sprintf("%v=%v", tp, v))
+			})
+			generic.ScanSorted(func(tp types.Tuple, v float64) {
+				gs = append(gs, fmt.Sprintf("%v=%v", tp, v))
+			})
+			if len(ps) != len(gs) {
+				t.Fatalf("sorted scan lengths differ: %d vs %d", len(ps), len(gs))
+			}
+			for i := range ps {
+				if ps[i] != gs[i] {
+					t.Fatalf("sorted entry %d: packed %s, generic %s", i, ps[i], gs[i])
+				}
+			}
+		})
 	}
 }

@@ -87,6 +87,24 @@ func PartitionHash(v types.Value) uint32 {
 	}
 }
 
+// PartitionHashInt hashes a packed int64 key directly, bypassing Value
+// boxing and kind dispatch. It is bit-identical to PartitionHash of the
+// equivalent KindInt value (FNV-1a over the float64 bits of the integer),
+// so typed and generic routing place every key on the same shard.
+func PartitionHashInt(i int64) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	bits := math.Float64bits(float64(i))
+	for b := 0; b < 8; b++ {
+		h ^= uint32(bits >> (8 * b) & 0xff)
+		h *= prime32
+	}
+	return h
+}
+
 // maxAssignments caps the brute-force search over per-relation routing
 // parameters; beyond it only uniform assignments are tried.
 const maxAssignments = 20000

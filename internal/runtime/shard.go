@@ -228,7 +228,17 @@ func (s *ShardedEngine) enqueue(ev Event) error {
 		if r.param < 0 || r.param >= len(ev.Args) {
 			return fmt.Errorf("runtime: no routing parameter for relation %s", ev.Rel)
 		}
-		sh := int(PartitionHash(ev.Args[r.param]) % uint32(s.n))
+		// Int keys (the common routing kind under the typed physical
+		// layer) hash through the packed fast path; PartitionHashInt is
+		// bit-identical to PartitionHash on the boxed value.
+		v := ev.Args[r.param]
+		var h uint32
+		if v.Kind() == types.KindInt {
+			h = PartitionHashInt(v.Int())
+		} else {
+			h = PartitionHash(v)
+		}
+		sh := int(h % uint32(s.n))
 		s.pend[sh] = append(s.pend[sh], ev)
 		if len(s.pend[sh]) >= s.bsz {
 			s.dispatchShard(sh)

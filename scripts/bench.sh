@@ -7,13 +7,29 @@
 #   scripts/bench.sh                     # default 20000x iterations
 #   BENCHTIME=100x scripts/bench.sh      # quick smoke (used by check)
 #   ENGINE='.' scripts/bench.sh          # include the baselines too
+#   SUITE=typed scripts/bench.sh         # typed-vs-generic storage ablation
+#                                        # (BenchmarkAblationTypedStorage →
+#                                        # BENCH_typed.json)
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-20000x}"
 ENGINE="${ENGINE:-^dbtoaster$}"
-PATTERN="^(BenchmarkFinancial|BenchmarkWarehouse|BenchmarkPaperQueryRST)/$ENGINE"
-OUT="${OUT:-BENCH_hotpath.json}"
+SUITE="${SUITE:-hotpath}"
+case "$SUITE" in
+hotpath)
+    PATTERN="^(BenchmarkFinancial|BenchmarkWarehouse|BenchmarkPaperQueryRST)/$ENGINE"
+    OUT="${OUT:-BENCH_hotpath.json}"
+    ;;
+typed)
+    PATTERN='^BenchmarkAblationTypedStorage/'
+    OUT="${OUT:-BENCH_typed.json}"
+    ;;
+*)
+    echo "unknown SUITE '$SUITE' (hotpath|typed)" >&2
+    exit 2
+    ;;
+esac
 
 raw=$(go test -run xxx -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem .)
 printf '%s\n' "$raw"
