@@ -20,6 +20,7 @@ import (
 	"dbtoaster/internal/codegen"
 	"dbtoaster/internal/compiler"
 	"dbtoaster/internal/engine"
+	"dbtoaster/internal/metrics"
 	"dbtoaster/internal/orderbook"
 	"dbtoaster/internal/runtime"
 	"dbtoaster/internal/schema"
@@ -435,6 +436,57 @@ func BenchmarkAblationMapSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bakeoff.CompileProfile(paperSQL, rstCatalog()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Observability overhead (metrics layer) ---
+
+// BenchmarkMetricsOverhead measures the instrumentation layer's hot-path
+// cost on representative workloads: the identical engine with metrics
+// disabled (nil sink — the pre-metrics code path), enabled with the
+// default 1-in-64 latency sampling, and enabled with latency timestamps on
+// every firing. scripts/check.sh runs the off/on pair as a smoke gate and
+// fails on throughput regression beyond the budget or any new steady-state
+// allocation.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	workloads := []struct {
+		name   string
+		sql    string
+		cat    *schema.Catalog
+		events []stream.Event
+	}{
+		{"Turnover", orderbook.QueryBidTurnover, orderbook.Catalog(), financialEvents(b)},
+		{"SSB11", tpch.QuerySSB11, tpch.Catalog(), warehouseEvents(b)},
+	}
+	modes := []struct {
+		name string
+		opts func() runtime.Options
+	}{
+		{"off", func() runtime.Options { return runtime.Options{} }},
+		{"on", func() runtime.Options {
+			return runtime.Options{Metrics: metrics.New(), MetricsLabel: "bench"}
+		}},
+		{"on-sample1", func() runtime.Options {
+			return runtime.Options{
+				Metrics:      metrics.NewWithConfig(metrics.Config{SampleEvery: 1}),
+				MetricsLabel: "bench",
+			}
+		}},
+	}
+	for _, w := range workloads {
+		q, err := engine.Prepare(w.sql, w.cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range modes {
+			b.Run(w.name+"/"+m.name, func(b *testing.B) {
+				e, err := engine.NewToaster(q, m.opts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				runStream(b, e, w.events)
+			})
 		}
 	}
 }

@@ -36,6 +36,7 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "also print throughput-vs-stream-position series")
 		shards   = flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): run the sharded-runtime sweep and add the largest as a bakeoff contender")
 		batch    = flag.Int("batch", 0, "feed engines in OnEventBatch chunks of this size (0 = per-event)")
+		metrics  = flag.String("metrics-out", "", "instrument the dbtoaster contenders and keep writing steady-state metrics snapshots to this JSON file (e.g. BENCH_metrics.json)")
 	)
 	flag.Parse()
 
@@ -97,6 +98,7 @@ func main() {
 			Engines:       engines,
 			MaxEventsSlow: *slowCap,
 			Batch:         *batch,
+			MetricsOut:    *metrics,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bakeoff:", err)

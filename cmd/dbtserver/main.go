@@ -1,10 +1,13 @@
 // Command dbtserver runs DBToaster in standalone mode: a compiled standing
 // query served over a line-oriented TCP protocol (INSERT/DELETE/RESULT/
-// PROGRAM/STATS/QUIT; see internal/server for the protocol details).
+// PROGRAM/STATS/METRICS/QUIT; see internal/server for the protocol
+// details). With -metrics-addr it also serves live counters and latency
+// histograms over HTTP (Prometheus text format, expvar, pprof).
 //
 // Usage:
 //
 //	dbtserver -name brokers -addr 127.0.0.1:7077
+//	dbtserver -name rst -metrics-addr 127.0.0.1:9090
 //	dbtserver -catalog tpch -sql 'select sum(lo.revenue) from lineorder lo, dates d where lo.orderdate = d.datekey' -addr :7077
 package main
 
@@ -16,18 +19,21 @@ import (
 	"strings"
 
 	"dbtoaster/internal/cli"
+	"dbtoaster/internal/metrics"
 	"dbtoaster/internal/schema"
 	"dbtoaster/internal/server"
 )
 
 func main() {
 	var (
-		name    = flag.String("name", "", "named demo query: "+strings.Join(cli.NamedQueries(), ", "))
-		sqlText = flag.String("sql", "", "SQL query text")
-		catName = flag.String("catalog", "", "built-in catalog: rst, orderbook, tpch")
-		tables  = flag.String("tables", "", "semicolon-separated table specs")
-		addr    = flag.String("addr", "127.0.0.1:7077", "listen address")
-		shards  = flag.Int("shards", 0, "run queries on the sharded runtime with this many shard workers (0 = single-threaded)")
+		name        = flag.String("name", "", "named demo query: "+strings.Join(cli.NamedQueries(), ", "))
+		sqlText     = flag.String("sql", "", "SQL query text")
+		catName     = flag.String("catalog", "", "built-in catalog: rst, orderbook, tpch")
+		tables      = flag.String("tables", "", "semicolon-separated table specs")
+		addr        = flag.String("addr", "127.0.0.1:7077", "listen address")
+		shards      = flag.Int("shards", 0, "run queries on the sharded runtime with this many shard workers (0 = single-threaded)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json, /debug/vars, and /debug/pprof on this address (empty = no HTTP endpoint)")
+		noMetrics   = flag.Bool("no-metrics", false, "disable instrumentation entirely (METRICS returns ERR)")
 	)
 	flag.Parse()
 
@@ -64,7 +70,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	s, err := server.NewSharded(src, cat, *shards)
+	if *noMetrics && *metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "dbtserver: -metrics-addr requires metrics (drop -no-metrics)")
+		os.Exit(1)
+	}
+	s, err := server.NewWithOptions(src, cat, server.Options{Shards: *shards, NoMetrics: *noMetrics})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtserver:", err)
 		os.Exit(1)
@@ -78,6 +88,15 @@ func main() {
 		fmt.Printf("dbtserver: serving %q on %s (%d shards)\n", src, bound, *shards)
 	} else {
 		fmt.Printf("dbtserver: serving %q on %s\n", src, bound)
+	}
+	if *metricsAddr != "" {
+		h, err := metrics.Serve(*metricsAddr, s.Sink())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtserver:", err)
+			os.Exit(1)
+		}
+		defer h.Close()
+		fmt.Printf("dbtserver: metrics on http://%s/metrics\n", h.Addr)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -17,6 +17,7 @@ import (
 	"dbtoaster/internal/codegen"
 	"dbtoaster/internal/compiler"
 	"dbtoaster/internal/engine"
+	"dbtoaster/internal/metrics"
 	"dbtoaster/internal/runtime"
 	"dbtoaster/internal/schema"
 	"dbtoaster/internal/stream"
@@ -39,6 +40,14 @@ type Config struct {
 	// (amortizing per-call dispatch overhead); zero or one feeds events
 	// one at a time through OnEvent.
 	Batch int
+	// MetricsOut, when non-empty, instruments the dbtoaster contenders
+	// with a metrics.Sink (one series label per engine name) and runs a
+	// PeriodicWriter that keeps rewriting this path (conventionally a
+	// BENCH_*.json file) with the latest steady-state snapshot while the
+	// engines feed. The reference engine stays uninstrumented.
+	MetricsOut string
+	// MetricsInterval is the snapshot cadence (default 1s).
+	MetricsInterval time.Duration
 }
 
 // Row is one engine's measurement.
@@ -62,18 +71,27 @@ type Report struct {
 	// MapStats is the compiled engine's per-map profile (entries, peak,
 	// update counts): the paper's per-map overhead breakdown.
 	MapStats []runtime.MemStats
+	// Metrics holds the final steady-state snapshot when Config.MetricsOut
+	// was set (the same value written to the JSON file).
+	Metrics *metrics.IntervalSnapshot
 }
 
-func buildEngine(name string, q *engine.Query) (engine.Engine, error) {
+// buildEngine constructs one contender. opts carries cross-cutting knobs
+// (the metrics sink and label); per-engine ablation flags are layered on
+// top of it.
+func buildEngine(name string, q *engine.Query, opts runtime.Options) (engine.Engine, error) {
 	switch name {
 	case "dbtoaster":
-		return engine.NewToaster(q, runtime.Options{})
+		return engine.NewToaster(q, opts)
 	case "dbtoaster-interp":
-		return engine.NewToaster(q, runtime.Options{Interpret: true})
+		opts.Interpret = true
+		return engine.NewToaster(q, opts)
 	case "dbtoaster-noslice":
-		return engine.NewToaster(q, runtime.Options{NoSliceIndex: true})
+		opts.NoSliceIndex = true
+		return engine.NewToaster(q, opts)
 	case "dbtoaster-generic":
-		return engine.NewToaster(q, runtime.Options{NoTypedStorage: true})
+		opts.NoTypedStorage = true
+		return engine.NewToaster(q, opts)
 	case "naive-reeval":
 		return engine.NewNaive(q), nil
 	case "first-order-ivm":
@@ -84,7 +102,7 @@ func buildEngine(name string, q *engine.Query) (engine.Engine, error) {
 			if err != nil || n < 1 {
 				return nil, fmt.Errorf("bakeoff: bad shard count in engine %q", name)
 			}
-			return engine.NewShardedToaster(q, n, runtime.Options{})
+			return engine.NewShardedToaster(q, n, opts)
 		}
 		return nil, fmt.Errorf("bakeoff: unknown engine %q", name)
 	}
@@ -152,8 +170,9 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 	}
-	// Reference answer over the comparison prefix.
-	refEng, err := buildEngine("dbtoaster", q)
+	// Reference answer over the comparison prefix (uninstrumented, so the
+	// metrics snapshot reflects only the measured contenders).
+	refEng, err := buildEngine("dbtoaster", q, runtime.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -167,9 +186,20 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	var (
+		sink   *metrics.Sink
+		writer *metrics.PeriodicWriter
+	)
+	if cfg.MetricsOut != "" {
+		sink = metrics.New()
+		writer = metrics.NewPeriodicWriter(sink, cfg.MetricsOut, cfg.MetricsInterval)
+		defer writer.Stop()
+	}
+
 	rep := &Report{Config: cfg, Reference: ref}
 	for _, name := range names {
-		e, err := buildEngine(name, q)
+		opts := runtime.Options{Metrics: sink, MetricsLabel: name}
+		e, err := buildEngine(name, q, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -214,6 +244,12 @@ func Run(cfg Config) (*Report, error) {
 		})
 		closeEngine(e)
 	}
+	if writer != nil {
+		if err := writer.Stop(); err != nil {
+			return nil, fmt.Errorf("bakeoff %s: metrics writer: %w", cfg.Name, err)
+		}
+		rep.Metrics = writer.Last()
+	}
 	return rep, nil
 }
 
@@ -248,6 +284,10 @@ func (r *Report) Print(w io.Writer) {
 			}
 			fmt.Fprintf(w, "%29s %-10s %10d %10d %12d%s\n", "", s.Name, s.Entries, s.Peak, s.Updates, flags)
 		}
+	}
+	if r.Metrics != nil {
+		fmt.Fprintf(w, "metrics: %d events instrumented, steady-state %.0f ev/s over last %.2fs -> %s\n",
+			r.Metrics.Events, r.Metrics.IntervalEventsPerSec, r.Metrics.IntervalSeconds, r.Config.MetricsOut)
 	}
 }
 

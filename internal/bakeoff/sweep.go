@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dbtoaster/internal/engine"
+	"dbtoaster/internal/runtime"
 	"dbtoaster/internal/schema"
 	"dbtoaster/internal/stream"
 )
@@ -39,7 +40,7 @@ func Sweep(sqlText string, cat *schema.Catalog, events []stream.Event, engines [
 	}
 	var out []SweepSeries
 	for _, name := range engines {
-		e, err := buildEngine(name, q)
+		e, err := buildEngine(name, q, runtime.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -89,20 +89,11 @@ func ParseTables(specs []string) (*schema.Catalog, error) {
 		if len(cols) == 0 {
 			return nil, fmt.Errorf("cli: table %q has no columns", name)
 		}
-		rel, err := safeNewRelation(name, cols)
+		rel, err := schema.ParseRelation(name, cols...)
 		if err != nil {
 			return nil, err
 		}
 		cat.Add(rel)
 	}
 	return cat, nil
-}
-
-func safeNewRelation(name string, cols []string) (rel *schema.Relation, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("cli: %v", r)
-		}
-	}()
-	return schema.NewRelation(name, cols...), nil
 }

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// IntervalSnapshot augments a Snapshot with rates computed over the last
+// writer interval — the steady-state numbers a long run converges to,
+// as opposed to the lifetime averages in the Snapshot itself.
+type IntervalSnapshot struct {
+	*Snapshot
+	IntervalSeconds      float64 `json:"interval_seconds"`
+	IntervalEvents       uint64  `json:"interval_events"`
+	IntervalEventsPerSec float64 `json:"interval_events_per_sec"`
+}
+
+// PeriodicWriter samples a Sink on a fixed interval and atomically
+// rewrites one JSON file with the latest IntervalSnapshot; the bakeoff
+// harness points it at a BENCH_*.json path so the file always holds the
+// most recent steady-state measurement. Stop takes a final sample.
+type PeriodicWriter struct {
+	sink     *Sink
+	path     string
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	lastEvents uint64
+	lastAt     time.Time
+
+	mu      sync.Mutex
+	lastErr error
+	last    *IntervalSnapshot
+}
+
+// NewPeriodicWriter starts writing snapshots of sink to path every
+// interval (minimum 10ms; default 1s when non-positive).
+func NewPeriodicWriter(sink *Sink, path string, interval time.Duration) *PeriodicWriter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	w := &PeriodicWriter{
+		sink:     sink,
+		path:     path,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		lastAt:   time.Now(),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *PeriodicWriter) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.sample()
+		case <-w.stop:
+			w.sample()
+			return
+		}
+	}
+}
+
+func (w *PeriodicWriter) sample() {
+	snap := w.sink.Snapshot()
+	is := &IntervalSnapshot{Snapshot: snap}
+	is.IntervalSeconds = snap.TakenAt.Sub(w.lastAt).Seconds()
+	is.IntervalEvents = snap.Events - w.lastEvents
+	if is.IntervalSeconds > 0 {
+		is.IntervalEventsPerSec = float64(is.IntervalEvents) / is.IntervalSeconds
+	}
+	w.lastAt = snap.TakenAt
+	w.lastEvents = snap.Events
+	err := writeJSONAtomic(w.path, is)
+	w.mu.Lock()
+	w.last = is
+	if err != nil {
+		w.lastErr = err
+	}
+	w.mu.Unlock()
+}
+
+// Last returns the most recently written snapshot (nil before the first
+// tick).
+func (w *PeriodicWriter) Last() *IntervalSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last
+}
+
+// Stop takes a final sample, writes it, and returns the first write error
+// encountered (if any). Idempotent.
+func (w *PeriodicWriter) Stop() error {
+	w.once.Do(func() { close(w.stop) })
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
+
+// writeJSONAtomic writes v as indented JSON via a temp-file rename so
+// readers never observe a torn file.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -3,8 +3,10 @@ package runtime
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"dbtoaster/internal/ir"
+	"dbtoaster/internal/metrics"
 	"dbtoaster/internal/types"
 )
 
@@ -24,6 +26,32 @@ type Options struct {
 	// for programs whose type annotations would allow packed int keys and
 	// unboxed kernels (ablation and differential baseline).
 	NoTypedStorage bool
+	// Metrics, when non-nil, instruments the engine: per-(relation, op)
+	// trigger counters and sampled latency histograms, and live per-map
+	// entry gauges. Nil keeps the hot path identical to an uninstrumented
+	// build (zero allocations, one nil check per event).
+	Metrics *metrics.Sink
+	// NoMetrics forces instrumentation off even when Metrics is set
+	// (ablation convenience; semantically identical to Metrics == nil).
+	NoMetrics bool
+	// MetricsLabel scopes this engine's series inside a shared sink (e.g.
+	// the query name when one server hosts several engines). Engines that
+	// share a sink, a label, and map names also share gauges, so a
+	// (sink, label) pair should describe one logical engine — the sharded
+	// runtime exploits this to merge its workers' series.
+	MetricsLabel string
+	// worker marks engines owned by a sharded dispatcher: they record
+	// trigger and map series into the shared sink but not admission
+	// counts, which the dispatcher already counted.
+	worker bool
+}
+
+// sink returns the effective metrics sink (nil when disabled).
+func (o Options) sink() *metrics.Sink {
+	if o.NoMetrics {
+		return nil
+	}
+	return o.Metrics
 }
 
 // Engine executes one compiled trigger program over its view maps.
@@ -50,6 +78,8 @@ type Engine struct {
 	// intPos marks key positions statically guaranteed to hold KindInt
 	// values (typed mode only; see guaranteedIntPositions).
 	intPos map[string][]bool
+	// sink is the effective metrics sink (nil when instrumentation is off).
+	sink *metrics.Sink
 }
 
 type compiledTrigger struct {
@@ -58,9 +88,13 @@ type compiledTrigger struct {
 	env   *cenv    // reusable environment (closure mode)
 	ienv  map[string]types.Value
 	slots map[string]int
-	// checks validate and unbox typed parameters at event entry (typed
-	// mode only; empty in generic mode).
+	// checks validate (and, when slot >= 0, unbox) trigger parameters at
+	// event entry. Typed mode uses them to license unboxed kernels; both
+	// modes use validate-only entries (slot == -1) to reject mismatched
+	// kinds at admission instead of corrupting map keys downstream.
 	checks []paramCheck
+	// stats, when non-nil, is this trigger's series in the metrics sink.
+	stats *metrics.TriggerStats
 }
 
 // cenv is the reusable per-trigger execution environment: boxed slots for
@@ -142,6 +176,7 @@ func newEngine(prog *ir.Program, opts Options, banned map[string]bool) (*Engine,
 		trigIns:  make(map[string]*compiledTrigger),
 		trigDel:  make(map[string]*compiledTrigger),
 		demote:   map[string]bool{},
+		sink:     opts.sink(),
 	}
 	typed := opts.typedMode()
 	if typed {
@@ -152,7 +187,11 @@ func newEngine(prog *ir.Program, opts Options, banned map[string]bool) (*Engine,
 		if typed {
 			kind = mapLayout(prog.Maps[name], banned, e.intPos)
 		}
-		e.maps[name] = newMapWithKind(prog.Maps[name], kind)
+		m := newMapWithKind(prog.Maps[name], kind)
+		if e.sink != nil {
+			m.gauges = e.sink.Map(opts.MetricsLabel, name, m.kind.String())
+		}
+		e.maps[name] = m
 	}
 	// Register slice indexes before any data arrives.
 	if !opts.NoSliceIndex {
@@ -176,6 +215,15 @@ func newEngine(prog *ir.Program, opts Options, banned map[string]bool) (*Engine,
 		}
 		if err != nil {
 			return nil, err
+		}
+		if e.sink != nil {
+			if opts.worker {
+				// Dispatcher-owned workers share series but must not feed
+				// the event total: the dispatcher counts admission.
+				ct.stats = e.sink.WorkerTrigger(opts.MetricsLabel, t.Relation, t.Insert)
+			} else {
+				ct.stats = e.sink.Trigger(opts.MetricsLabel, t.Relation, t.Insert)
+			}
 		}
 		e.triggers[triggerKey(t.Relation, t.Insert)] = ct
 		byRel := e.trigIns
@@ -231,14 +279,65 @@ func triggerKey(rel string, insert bool) string {
 // OnEvent runs the trigger for one base-relation delta. Unknown relations
 // or relations the query does not mention are ignored (a standing query
 // only reacts to its own inputs).
+//
+// With a metrics sink attached this is also the measurement point:
+// per-trigger counts are exact, latency is sampled (Sink.Sampled) so the
+// two clock reads amortize across the sample interval.
 func (e *Engine) OnEvent(rel string, insert bool, args types.Tuple) error {
 	e.events++
 	ct := e.trigger(rel, insert)
 	if ct == nil {
 		return nil
 	}
+	st := ct.stats
+	if st == nil {
+		return e.fire(ct, args)
+	}
+	// One atomic per event: the series counter doubles as the sampling
+	// clock, and the sink derives the event total from admission-marked
+	// series at snapshot time.
+	if e.sink.Sampled(st.Count.Inc()) {
+		start := time.Now()
+		err := e.fire(ct, args)
+		st.Latency.Observe(int64(time.Since(start)))
+		if err != nil {
+			st.Errors.Inc()
+		}
+		return err
+	}
+	err := e.fire(ct, args)
+	if err != nil {
+		st.Errors.Inc()
+	}
+	return err
+}
+
+// fire validates the event against the trigger's declaration and executes
+// its statements. This is the uninstrumented hot path.
+func (e *Engine) fire(ct *compiledTrigger, args types.Tuple) error {
 	if len(args) != len(ct.trig.Params) {
 		return fmt.Errorf("runtime: event %s expects %d args, got %d", ct.trig.Name(), len(ct.trig.Params), len(args))
+	}
+	// Admission kind validation (and, in typed mode, parameter unboxing).
+	// Typed kernels read parameters from unboxed slots; the kind check is
+	// what makes every downstream int/float assumption sound. Validate-only
+	// entries (slot < 0) guard generic storage the same way: a mismatched
+	// kind fails the one event with an error instead of poisoning map keys
+	// or panicking in packed storage.
+	for _, pc := range ct.checks {
+		v := args[pc.arg]
+		if v.Kind() != pc.kind {
+			return fmt.Errorf("runtime: %s: column %d (%s) expects %s, got %s",
+				ct.trig.Relation, pc.arg+1, ct.trig.Params[pc.arg], pc.kind, v.Kind())
+		}
+		if pc.slot < 0 {
+			continue
+		}
+		if pc.kind == types.KindInt {
+			ct.env.ints[pc.slot] = v.Int()
+		} else {
+			ct.env.floats[pc.slot] = v.Float()
+		}
 	}
 	if e.opts.Interpret || e.opts.StmtWrapper != nil {
 		for i, p := range ct.trig.Params {
@@ -260,22 +359,6 @@ func (e *Engine) OnEvent(rel string, insert bool, args types.Tuple) error {
 		return nil
 	}
 	copy(ct.env.slots, args)
-	// Typed kernels read parameters from unboxed slots; the kind check is
-	// what makes every downstream int/float assumption sound. The schema
-	// layer coerces events before they reach the runtime, so a mismatch
-	// indicates a caller bypassing validation.
-	for _, pc := range ct.checks {
-		v := args[pc.arg]
-		if v.Kind() != pc.kind {
-			return fmt.Errorf("runtime: event %s arg %d is %s, declared %s",
-				ct.trig.Name(), pc.arg, v.Kind(), pc.kind)
-		}
-		if pc.kind == types.KindInt {
-			ct.env.ints[pc.slot] = v.Int()
-		} else {
-			ct.env.floats[pc.slot] = v.Float()
-		}
-	}
 	for _, fn := range ct.fns {
 		fn(ct.env)
 	}
@@ -322,6 +405,14 @@ func (e *Engine) compileTrigger(t *ir.Trigger) (*compiledTrigger, error) {
 	slots := map[string]int{}
 	for i, p := range t.Params {
 		slots[p] = i
+	}
+	// Validate-only admission checks: generic storage tolerates any kind,
+	// but admitting a mismatched kind would corrupt the view (keys that can
+	// never be queried back) — reject it at the boundary like typed mode.
+	for i, k := range t.ParamKinds {
+		if k != types.KindNull {
+			ct.checks = append(ct.checks, paramCheck{arg: i, kind: k, slot: -1})
+		}
 	}
 	maxSlots := len(t.Params)
 	for _, s := range t.Stmts {

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"dbtoaster/internal/ir"
+	"dbtoaster/internal/metrics"
 	"dbtoaster/internal/treap"
 	"dbtoaster/internal/types"
 )
@@ -77,6 +78,10 @@ type Map struct {
 	updates uint64
 	// peak tracks the high-water entry count.
 	peak int
+	// gauges, when non-nil, mirror entry births and deaths into the metrics
+	// sink. Steady-state value updates never touch them, so the instrumented
+	// hot path pays nothing once the map reaches its working set.
+	gauges *metrics.MapStats
 }
 
 // entry keeps its own materialized Key so removal paths (hash bucket,
@@ -231,6 +236,9 @@ func (m *Map) AddKey(k []byte, key types.Tuple, delta float64) {
 		if len(m.entries) > m.peak {
 			m.peak = len(m.entries)
 		}
+		if m.gauges != nil {
+			m.gauges.Peak.MaxTo(m.gauges.Entries.Inc())
+		}
 		return
 	}
 	e.val += delta
@@ -241,6 +249,9 @@ func (m *Map) AddKey(k []byte, key types.Tuple, delta float64) {
 		delete(m.entries, e.key)
 		for _, s := range m.slices {
 			s.remove(e)
+		}
+		if m.gauges != nil {
+			m.gauges.Entries.Dec()
 		}
 	}
 }
@@ -256,12 +267,20 @@ func (m *Map) addI1(k uint64, delta float64) {
 	if v == 0 {
 		if ok {
 			delete(m.i1, k)
+			if m.gauges != nil {
+				m.gauges.Entries.Dec()
+			}
 		}
 		return
 	}
 	m.i1[k] = v
-	if !ok && len(m.i1) > m.peak {
-		m.peak = len(m.i1)
+	if !ok {
+		if len(m.i1) > m.peak {
+			m.peak = len(m.i1)
+		}
+		if m.gauges != nil {
+			m.gauges.Peak.MaxTo(m.gauges.Entries.Inc())
+		}
 	}
 }
 
@@ -280,6 +299,9 @@ func (m *Map) addI2(k [2]uint64, delta float64) {
 			for _, s := range m.i2slices {
 				s.remove(k)
 			}
+			if m.gauges != nil {
+				m.gauges.Entries.Dec()
+			}
 		}
 		return
 	}
@@ -287,8 +309,13 @@ func (m *Map) addI2(k [2]uint64, delta float64) {
 	for _, s := range m.i2slices {
 		s.set(k, v)
 	}
-	if !ok && len(m.i2) > m.peak {
-		m.peak = len(m.i2)
+	if !ok {
+		if len(m.i2) > m.peak {
+			m.peak = len(m.i2)
+		}
+		if m.gauges != nil {
+			m.gauges.Peak.MaxTo(m.gauges.Entries.Inc())
+		}
 	}
 }
 

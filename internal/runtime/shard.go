@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dbtoaster/internal/ir"
+	"dbtoaster/internal/metrics"
 	"dbtoaster/internal/types"
 )
 
@@ -31,6 +32,13 @@ type route struct {
 	local  bool
 	global bool
 	param  int // partition parameter position; -1 when unknown
+	// arity/kinds/params validate events at admission, so a malformed
+	// tuple fails the producer's call with an error instead of poisoning a
+	// worker (whose failure would be a sticky error at best, a packed-map
+	// panic at worst).
+	arity  int
+	kinds  []types.Kind
+	params []string
 }
 
 // ShardedEngine executes one compiled trigger program across N shard
@@ -68,6 +76,11 @@ type ShardedEngine struct {
 	closed bool
 
 	events uint64
+
+	// sink and the dispatch series are nil when instrumentation is off.
+	sink    *metrics.Sink
+	dShard  *metrics.DispatchStats
+	dGlobal *metrics.DispatchStats
 }
 
 // NewShardedEngine partitions the program and starts the workers.
@@ -96,6 +109,11 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 		pend:     make([][]Event, n),
 		routeIns: map[string]route{},
 		routeDel: map[string]route{},
+		sink:     opts.Base.sink(),
+	}
+	if s.sink != nil {
+		s.dShard = s.sink.ShardDispatch()
+		s.dGlobal = s.sink.GlobalDispatch()
 	}
 	for _, t := range prog.Triggers {
 		byRel := s.routeIns
@@ -115,11 +133,19 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 				r.global = true
 			}
 		}
+		r.arity = len(t.Params)
+		r.params = t.Params
+		r.kinds = t.ParamKinds
 		byRel[lower] = r
 		byRel[t.Relation] = r
 	}
+	// Workers share the dispatcher's sink but are marked as such: the
+	// dispatcher counts admission, the workers record trigger and map
+	// series (which merge across workers — atomics, disjoint entries).
+	base := opts.Base
+	base.worker = true
 	for i := 0; i < n; i++ {
-		e, err := NewEngine(localProg, opts.Base)
+		e, err := NewEngine(localProg, base)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +154,7 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 		s.pend[i] = make([]Event, 0, bsz)
 	}
 	var err error
-	s.global, err = NewEngine(globalProg, opts.Base)
+	s.global, err = NewEngine(globalProg, base)
 	if err != nil {
 		return nil, err
 	}
@@ -147,11 +173,24 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 func (s *ShardedEngine) worker(e *Engine, ch chan []Event) {
 	defer s.workers.Done()
 	for batch := range ch {
-		if err := e.OnEventBatch(batch); err != nil {
+		if err := applyBatch(e, batch); err != nil {
 			s.setErr(err)
 		}
 		s.inflight.Done()
 	}
+}
+
+// applyBatch applies one batch, converting a worker panic into an error:
+// a poisoned batch surfaces as the dispatcher's sticky error (and fails
+// the producer's next call) instead of crashing the process with workers
+// mid-flight.
+func applyBatch(e *Engine, batch []Event) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runtime: shard worker panic: %v", r)
+		}
+	}()
+	return e.OnEventBatch(batch)
 }
 
 func (s *ShardedEngine) setErr(err error) {
@@ -217,12 +256,30 @@ func (s *ShardedEngine) routeOf(rel string, insert bool) (route, bool) {
 	return r, ok
 }
 
-// enqueue routes one admitted delta to its pending batches.
+// enqueue routes one admitted delta to its pending batches. Admission
+// validates arity and declared column kinds here, on the producer's call,
+// so a malformed event yields an error to the caller rather than a sticky
+// worker failure later.
 func (s *ShardedEngine) enqueue(ev Event) error {
 	s.events++
 	r, ok := s.routeOf(ev.Rel, ev.Insert)
 	if !ok {
 		return nil // relations the program does not mention are ignored
+	}
+	if len(ev.Args) != r.arity {
+		return fmt.Errorf("runtime: event %s expects %d args, got %d", ev.Rel, r.arity, len(ev.Args))
+	}
+	for i, k := range r.kinds {
+		if k == types.KindNull {
+			continue
+		}
+		if got := ev.Args[i].Kind(); got != k {
+			return fmt.Errorf("runtime: %s: column %d (%s) expects %s, got %s",
+				ev.Rel, i+1, r.params[i], k, got)
+		}
+	}
+	if s.sink != nil {
+		s.sink.Ingested.Inc()
 	}
 	if r.local {
 		if r.param < 0 || r.param >= len(ev.Args) {
@@ -279,12 +336,24 @@ func (s *ShardedEngine) OnEventBatch(evs []Event) error {
 }
 
 func (s *ShardedEngine) dispatchShard(i int) {
+	if s.dShard != nil {
+		s.dShard.Batches.Inc()
+		s.dShard.Events.Add(uint64(len(s.pend[i])))
+		s.dShard.BatchSize.Observe(int64(len(s.pend[i])))
+		s.dShard.QueueDepth.Observe(int64(len(s.shardCh[i])))
+	}
 	s.inflight.Add(1)
 	s.shardCh[i] <- s.pend[i]
 	s.pend[i] = make([]Event, 0, s.bsz)
 }
 
 func (s *ShardedEngine) dispatchGlobal() {
+	if s.dGlobal != nil {
+		s.dGlobal.Batches.Inc()
+		s.dGlobal.Events.Add(uint64(len(s.gpend)))
+		s.dGlobal.BatchSize.Observe(int64(len(s.gpend)))
+		s.dGlobal.QueueDepth.Observe(int64(len(s.globalCh)))
+	}
 	s.inflight.Add(1)
 	s.globalCh <- s.gpend
 	s.gpend = make([]Event, 0, s.bsz)

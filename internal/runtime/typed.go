@@ -233,6 +233,12 @@ func (e *Engine) compileTriggerTyped(t *ir.Trigger) (*compiledTrigger, error) {
 			ptslots[p] = tslot{cls: clsFloat, idx: nFloat}
 			ct.checks = append(ct.checks, paramCheck{arg: i, kind: k, slot: nFloat})
 			nFloat++
+		default:
+			// Non-numeric declared kinds stay boxed but are still validated
+			// at admission (slot -1), matching the generic engine.
+			if k != types.KindNull {
+				ct.checks = append(ct.checks, paramCheck{arg: i, kind: k, slot: -1})
+			}
 		}
 	}
 	maxInt, maxFloat, maxSlots := nInt, nFloat, len(t.Params)

@@ -23,21 +23,38 @@ type Relation struct {
 	Columns []Column
 }
 
-// NewRelation builds a relation from "name:type" column specs, e.g.
-// NewRelation("R", "A:int", "B:int"). It panics on malformed specs; it is
-// intended for statically-known schemas in tests and workload definitions.
-func NewRelation(name string, cols ...string) *Relation {
+// ParseRelation builds a relation from "name:type" column specs, e.g.
+// ParseRelation("R", "A:int", "B:int"). Specs can arrive from user input
+// (server catalogs, CLI -tables flags), so malformed ones return an error.
+func ParseRelation(name string, cols ...string) (*Relation, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("schema: empty relation name")
+	}
 	r := &Relation{Name: name}
 	for _, c := range cols {
 		parts := strings.SplitN(c, ":", 2)
 		if len(parts) != 2 {
-			panic(fmt.Sprintf("schema: malformed column spec %q", c))
+			return nil, fmt.Errorf("schema: %s: malformed column spec %q (want name:type)", name, c)
+		}
+		col := strings.TrimSpace(parts[0])
+		if col == "" {
+			return nil, fmt.Errorf("schema: %s: empty column name in spec %q", name, c)
 		}
 		kind, err := ParseKind(parts[1])
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("schema: %s.%s: %w", name, col, err)
 		}
-		r.Columns = append(r.Columns, Column{Name: parts[0], Type: kind})
+		r.Columns = append(r.Columns, Column{Name: col, Type: kind})
+	}
+	return r, nil
+}
+
+// NewRelation is ParseRelation for statically-known schemas (tests,
+// workload definitions): it panics on malformed specs.
+func NewRelation(name string, cols ...string) *Relation {
+	r, err := ParseRelation(name, cols...)
+	if err != nil {
+		panic(err)
 	}
 	return r
 }

@@ -16,11 +16,19 @@
 //	RESULT [name]                 → OK <n> then n result lines
 //	PROGRAM [name]                → OK <n> then the trigger program
 //	STATS                         → OK <events> <entries>
+//	METRICS                       → OK <n> then n "key value..." lines
+//	                                (trigger counters/latencies, map
+//	                                gauges, dispatch stats; see
+//	                                metrics.Snapshot.Lines)
 //	QUIT                          → OK (closes the connection)
 //
 // Deltas feed every registered query; queries registered mid-stream see
 // only subsequent deltas (they start from the empty database, like any
 // standing query).
+//
+// String values are whitespace-trimmed like the numeric kinds: the
+// protocol's field separators are '|' and newline, so "INSERT R a| x "
+// stores "x". Empty fields are valid (empty string).
 package server
 
 import (
@@ -33,11 +41,25 @@ import (
 
 	"dbtoaster/internal/compiler"
 	"dbtoaster/internal/engine"
+	"dbtoaster/internal/metrics"
 	"dbtoaster/internal/runtime"
 	"dbtoaster/internal/schema"
 	"dbtoaster/internal/stream"
 	"dbtoaster/internal/types"
 )
+
+// Options configures a Server.
+type Options struct {
+	// Shards selects the sharded runtime for every registered query
+	// (0 or 1 = the single-threaded engine).
+	Shards int
+	// Metrics supplies an external sink. Nil means the server creates its
+	// own (instrumentation is on by default — the network dwarfs its cost)
+	// unless NoMetrics is set.
+	Metrics *metrics.Sink
+	// NoMetrics disables instrumentation entirely; METRICS returns ERR.
+	NoMetrics bool
+}
 
 // Server is a standalone standing-query processor hosting one or more
 // compiled queries over a shared catalog.
@@ -45,6 +67,7 @@ type Server struct {
 	mu      sync.Mutex
 	cat     *schema.Catalog
 	shards  int
+	sink    *metrics.Sink
 	queries map[string]*registered
 	order   []string
 	first   string
@@ -67,19 +90,35 @@ type registered struct {
 
 // New compiles the initial query (registered as "main") for serving.
 func New(sqlText string, cat *schema.Catalog) (*Server, error) {
-	return NewSharded(sqlText, cat, 0)
+	return NewWithOptions(sqlText, cat, Options{})
 }
 
 // NewSharded is New with the sharded runtime: every registered query runs
 // on a ShardedEngine with the given shard count (0 or 1 selects the
 // single-threaded engine).
 func NewSharded(sqlText string, cat *schema.Catalog, shards int) (*Server, error) {
-	s := &Server{cat: cat, shards: shards, queries: map[string]*registered{}}
+	return NewWithOptions(sqlText, cat, Options{Shards: shards})
+}
+
+// NewWithOptions compiles the initial query (registered as "main") with
+// full configuration.
+func NewWithOptions(sqlText string, cat *schema.Catalog, opts Options) (*Server, error) {
+	s := &Server{cat: cat, shards: opts.Shards, queries: map[string]*registered{}}
+	if !opts.NoMetrics {
+		s.sink = opts.Metrics
+		if s.sink == nil {
+			s.sink = metrics.New()
+		}
+	}
 	if err := s.Register("main", sqlText); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
+
+// Sink returns the server's metrics sink (nil when disabled); the daemon
+// hands it to metrics.Serve for the HTTP endpoint.
+func (s *Server) Sink() *metrics.Sink { return s.sink }
 
 // Register compiles and installs another standing query. The new view
 // starts from the empty database and maintains itself against subsequent
@@ -89,11 +128,12 @@ func (s *Server) Register(name, sqlText string) error {
 	if err != nil {
 		return err
 	}
+	ropts := runtime.Options{Metrics: s.sink, MetricsLabel: name}
 	var t queryEngine
 	if s.shards > 1 {
-		t, err = engine.NewShardedToaster(q, s.shards, runtime.Options{})
+		t, err = engine.NewShardedToaster(q, s.shards, ropts)
 	} else {
-		t, err = engine.NewToaster(q, runtime.Options{})
+		t, err = engine.NewToaster(q, ropts)
 	}
 	if err != nil {
 		return err
@@ -180,7 +220,7 @@ func (s *Server) serve(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		quit := s.handle(sc, w, line)
+		quit := s.handleSafe(sc, w, line)
 		w.Flush()
 		if quit {
 			return
@@ -188,26 +228,87 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
+// handleSafe runs one command, converting a handler panic into an ERR
+// reply: one poisoned command must not take down the process (or the
+// connection) while other clients stream deltas. Handlers hold the server
+// lock only through defer-unlocked helpers, so the server stays usable
+// after the recover.
+func (s *Server) handleSafe(sc *bufio.Scanner, w *bufio.Writer, line string) (quit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(w, "ERR internal error: %v\n", r)
+			quit = false
+		}
+	}()
+	return s.handle(sc, w, line)
+}
+
+// applyEvent feeds one delta to every registered query under the lock.
+func (s *Server) applyEvent(ev stream.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.order {
+		if err := s.queries[name].toaster.OnEvent(ev); err != nil {
+			return err
+		}
+	}
+	s.events++
+	return nil
+}
+
+// applyBatch feeds a batch to every registered query under the lock.
+func (s *Server) applyBatch(evs []stream.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.order {
+		if err := s.queries[name].toaster.OnEventBatch(evs); err != nil {
+			return err
+		}
+	}
+	s.events += uint64(len(evs))
+	return nil
+}
+
+// resultOf assembles a query's current answer under the lock.
+func (s *Server) resultOf(name string) (*engine.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.lookupLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.toaster.Results()
+}
+
+// listQueries renders the QUERIES body under the lock.
+func (s *Server) listQueries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, fmt.Sprintf("%s %s", name, strings.Join(strings.Fields(s.queries[name].q.SQL), " ")))
+	}
+	return out
+}
+
+// stats reports (events, total map entries) under the lock.
+func (s *Server) stats() (events uint64, entries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.order {
+		entries += s.queries[name].toaster.MemEntries()
+	}
+	return s.events, entries
+}
+
 func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit bool) {
 	cmd, rest, _ := strings.Cut(line, " ")
 	switch strings.ToUpper(cmd) {
 	case "INSERT", "DELETE":
 		ev, err := s.parseDelta(cmd, rest)
-		if err != nil {
-			fmt.Fprintf(w, "ERR %s\n", err)
-			return false
-		}
-		s.mu.Lock()
-		for _, name := range s.order {
-			if e := s.queries[name].toaster.OnEvent(ev); e != nil {
-				err = e
-				break
-			}
-		}
 		if err == nil {
-			s.events++
+			err = s.applyEvent(ev)
 		}
-		s.mu.Unlock()
 		if err != nil {
 			fmt.Fprintf(w, "ERR %s\n", err)
 			return false
@@ -248,20 +349,8 @@ func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit b
 			fmt.Fprintf(w, "ERR %s\n", parseErr)
 			return false
 		}
-		s.mu.Lock()
-		var applyErr error
-		for _, name := range s.order {
-			if e := s.queries[name].toaster.OnEventBatch(evs); e != nil {
-				applyErr = e
-				break
-			}
-		}
-		if applyErr == nil {
-			s.events += uint64(len(evs))
-		}
-		s.mu.Unlock()
-		if applyErr != nil {
-			fmt.Fprintf(w, "ERR %s\n", applyErr)
+		if err := s.applyBatch(evs); err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
 			return false
 		}
 		fmt.Fprintln(w, "OK")
@@ -277,20 +366,13 @@ func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit b
 		}
 		fmt.Fprintln(w, "OK")
 	case "QUERIES":
-		s.mu.Lock()
-		fmt.Fprintf(w, "OK %d\n", len(s.order))
-		for _, name := range s.order {
-			fmt.Fprintf(w, "%s %s\n", name, strings.Join(strings.Fields(s.queries[name].q.SQL), " "))
+		lines := s.listQueries()
+		fmt.Fprintf(w, "OK %d\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
 		}
-		s.mu.Unlock()
 	case "RESULT":
-		s.mu.Lock()
-		r, err := s.lookupLocked(strings.TrimSpace(rest))
-		var res *engine.Result
-		if err == nil {
-			res, err = r.toaster.Results()
-		}
-		s.mu.Unlock()
+		res, err := s.resultOf(strings.TrimSpace(rest))
 		if err != nil {
 			fmt.Fprintf(w, "ERR %s\n", err)
 			return false
@@ -319,13 +401,18 @@ func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit b
 			fmt.Fprintln(w, l)
 		}
 	case "STATS":
-		s.mu.Lock()
-		entries := 0
-		for _, name := range s.order {
-			entries += s.queries[name].toaster.MemEntries()
+		events, entries := s.stats()
+		fmt.Fprintf(w, "OK %d %d\n", events, entries)
+	case "METRICS":
+		if s.sink == nil {
+			fmt.Fprintln(w, "ERR metrics disabled")
+			return false
 		}
-		fmt.Fprintf(w, "OK %d %d\n", s.events, entries)
-		s.mu.Unlock()
+		lines := s.sink.Snapshot().Lines()
+		fmt.Fprintf(w, "OK %d\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
 	case "QUIT":
 		fmt.Fprintln(w, "OK")
 		return true
@@ -373,7 +460,10 @@ func (s *Server) parseTuple(rel, valstr string) (types.Tuple, error) {
 	return out, nil
 }
 
-// ParseValue parses one literal of the given kind.
+// ParseValue parses one literal of the given kind. Every kind trims
+// surrounding whitespace — the protocol's separators are '|' and newline,
+// so "a| x " means the string "x", not " x "; an empty (or all-blank)
+// field is the empty string.
 func ParseValue(kind types.Kind, s string) (types.Value, error) {
 	switch kind {
 	case types.KindInt:
@@ -389,7 +479,7 @@ func ParseValue(kind types.Kind, s string) (types.Value, error) {
 		}
 		return types.NewFloat(f), nil
 	case types.KindString:
-		return types.NewString(s), nil
+		return types.NewString(strings.TrimSpace(s)), nil
 	case types.KindBool:
 		b, err := strconv.ParseBool(strings.TrimSpace(s))
 		if err != nil {
@@ -449,7 +539,7 @@ func (c *Client) roundTrip(line string) (string, []string, error) {
 
 func lineCountCommands(line string) bool {
 	cmd, _, _ := strings.Cut(strings.ToUpper(strings.TrimSpace(line)), " ")
-	return cmd == "RESULT" || cmd == "PROGRAM" || cmd == "QUERIES"
+	return cmd == "RESULT" || cmd == "PROGRAM" || cmd == "QUERIES" || cmd == "METRICS"
 }
 
 // Insert sends an insert; values are rendered per Value.String.
@@ -545,6 +635,12 @@ func (c *Client) Stats() (events, entries int, err error) {
 	}
 	_, err = fmt.Sscanf(head, "OK %d %d", &events, &entries)
 	return events, entries, err
+}
+
+// Metrics fetches the METRICS snapshot as raw "key value..." lines.
+func (c *Client) Metrics() ([]string, error) {
+	_, body, err := c.roundTrip("METRICS")
+	return body, err
 }
 
 // Program fetches the compiled trigger program text.

@@ -329,3 +329,181 @@ func TestServerSharded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestServerIngestFault sends protocol lines whose literals contradict the
+// schema (string into an int column) and asserts the full chain survives:
+// the command yields ERR, the connection stays usable, and the engine keeps
+// producing correct results afterwards.
+func TestServerIngestFault(t *testing.T) {
+	_, c := startServer(t, "select B, sum(A) from R group by B")
+	if _, _, err := c.roundTrip("INSERT R abc|1"); err == nil {
+		t.Error("string into int column accepted")
+	}
+	if _, _, err := c.roundTrip("DELETE R 1|x"); err == nil {
+		t.Error("bad literal in DELETE accepted")
+	}
+	// Extra separators read as extra fields: arity error, not a crash.
+	if _, _, err := c.roundTrip("INSERT R 1|2|3"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := c.Insert("R", types.NewInt(5), types.NewInt(1)); err != nil {
+		t.Fatalf("connection unusable after faults: %v", err)
+	}
+	_, rows, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "1" || rows[0][1] != "5" {
+		t.Errorf("rows after faults = %v", rows)
+	}
+}
+
+// TestServerIngestFaultSharded runs the same fault battery against the
+// sharded runtime, where admission happens on the producer's call.
+func TestServerIngestFaultSharded(t *testing.T) {
+	cat := schema.NewCatalog(schema.NewRelation("R", "A:int", "B:int"))
+	s, err := NewSharded("select B, sum(A) from R group by B", cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if _, _, err := c.roundTrip("INSERT R abc|1"); err == nil {
+		t.Error("sharded: string into int column accepted")
+	}
+	if err := c.Insert("R", types.NewInt(5), types.NewInt(1)); err != nil {
+		t.Fatalf("sharded connection unusable after fault: %v", err)
+	}
+	_, rows, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1] != "5" {
+		t.Errorf("sharded rows after fault = %v", rows)
+	}
+}
+
+// TestParseValueEdgeCases pins the trimming and separator semantics
+// documented on ParseValue: every kind trims, an empty or all-blank field
+// is the empty string, and '|' never reaches a literal (it is consumed by
+// the tuple splitter first).
+func TestParseValueEdgeCases(t *testing.T) {
+	if v, _ := ParseValue(types.KindString, "  padded  "); v.Str() != "padded" {
+		t.Errorf("string not trimmed: %q", v.Str())
+	}
+	if v, _ := ParseValue(types.KindString, ""); v.Str() != "" {
+		t.Errorf("empty field: %q", v.Str())
+	}
+	if v, _ := ParseValue(types.KindString, "   "); v.Str() != "" {
+		t.Errorf("all-blank field: %q", v.Str())
+	}
+	if v, _ := ParseValue(types.KindBool, " TRUE "); !v.Bool() {
+		t.Error("bool not trimmed")
+	}
+	if _, err := ParseValue(types.KindFloat, " 2.5x "); err == nil {
+		t.Error("trailing garbage accepted in float")
+	}
+
+	// Through the protocol: an empty string field and surrounding blanks.
+	_, c := startServer(t, "select region, sum(amount) from sales group by region")
+	if _, _, err := c.roundTrip("INSERT sales |2.5"); err != nil {
+		t.Fatalf("empty string field rejected: %v", err)
+	}
+	if _, _, err := c.roundTrip("INSERT sales    west   | 1.5 "); err != nil {
+		t.Fatalf("padded fields rejected: %v", err)
+	}
+	_, rows, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "" || rows[0][1] != "2.5" || rows[1][0] != "west" {
+		t.Errorf("rows = %v", rows)
+	}
+	// A '|' inside a string literal cannot be escaped: it splits the tuple
+	// and the line fails arity, cleanly.
+	if _, _, err := c.roundTrip("INSERT sales a|b|1.5"); err == nil {
+		t.Error("pipe-containing string accepted (should be an arity error)")
+	}
+}
+
+// TestServerMetricsCommand: METRICS reports live counters by default and
+// ERR when instrumentation is disabled.
+func TestServerMetricsCommand(t *testing.T) {
+	_, c := startServer(t, "select B, sum(A) from R group by B")
+	for i := 0; i < 5; i++ {
+		if err := c.Insert("R", types.NewInt(int64(i)), types.NewInt(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawEvents, sawTrigger, sawMap bool
+	for _, l := range lines {
+		switch {
+		case l == "events_total 5":
+			sawEvents = true
+		case strings.HasPrefix(l, "trigger main R insert count=5"):
+			sawTrigger = true
+		case strings.HasPrefix(l, "map main "):
+			sawMap = true
+		}
+	}
+	if !sawEvents || !sawTrigger || !sawMap {
+		t.Errorf("METRICS missing series (events=%v trigger=%v map=%v):\n%s",
+			sawEvents, sawTrigger, sawMap, strings.Join(lines, "\n"))
+	}
+
+	// Disabled: METRICS is an error, ingestion is unaffected.
+	cat := schema.NewCatalog(schema.NewRelation("R", "A:int", "B:int"))
+	s, err := NewWithOptions("select sum(A) from R", cat, Options{NoMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	if _, err := c2.Metrics(); err == nil {
+		t.Error("METRICS succeeded on a NoMetrics server")
+	}
+	if err := c2.Insert("R", types.NewInt(1), types.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerMetricsPerQueryLabels: registered queries appear as separate
+// series labelled by query name.
+func TestServerMetricsPerQueryLabels(t *testing.T) {
+	_, c := startServer(t, "select sum(A) from R")
+	if err := c.Register("counts", "select B, count(*) from R group by B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("R", types.NewInt(1), types.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(lines, "\n")
+	if !strings.Contains(text, "trigger main R insert count=1") ||
+		!strings.Contains(text, "trigger counts R insert count=1") {
+		t.Errorf("per-query trigger series missing:\n%s", text)
+	}
+}

@@ -10,6 +10,12 @@
 #   SUITE=typed scripts/bench.sh         # typed-vs-generic storage ablation
 #                                        # (BenchmarkAblationTypedStorage →
 #                                        # BENCH_typed.json)
+#   SUITE=metrics scripts/bench.sh       # instrumentation overhead
+#                                        # (BenchmarkMetricsOverhead →
+#                                        # BENCH_metrics.json; live
+#                                        # steady-state snapshots come from
+#                                        # `bakeoff -metrics-out` or the
+#                                        # dbtserver METRICS command)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,8 +31,12 @@ typed)
     PATTERN='^BenchmarkAblationTypedStorage/'
     OUT="${OUT:-BENCH_typed.json}"
     ;;
+metrics)
+    PATTERN='^BenchmarkMetricsOverhead/'
+    OUT="${OUT:-BENCH_metrics.json}"
+    ;;
 *)
-    echo "unknown SUITE '$SUITE' (hotpath|typed)" >&2
+    echo "unknown SUITE '$SUITE' (hotpath|typed|metrics)" >&2
     exit 2
     ;;
 esac

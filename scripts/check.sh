@@ -9,5 +9,11 @@ echo "== build ==" && go build ./...
 echo "== vet ==" && go vet ./...
 echo "== test ==" && go test ./...
 echo "== bench smoke ==" && go test -run xxx -bench '^(BenchmarkFinancial|BenchmarkWarehouse)/^dbtoaster$' -benchtime 100x -benchmem .
+
+# Metrics-overhead smoke: fails if enabling instrumentation regresses the
+# hot path beyond its budget or allocates per event (see the script for
+# the measurement methodology).
+echo "== metrics overhead smoke ==" && sh scripts/metrics_smoke.sh
+
 echo "== race ==" && go test -race ./...
 echo "tier-1 OK"
