@@ -37,6 +37,7 @@ func main() {
 		shards   = flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): run the sharded-runtime sweep and add the largest as a bakeoff contender")
 		batch    = flag.Int("batch", 0, "feed engines in OnEventBatch chunks of this size (0 = per-event)")
 		metrics  = flag.String("metrics-out", "", "instrument the dbtoaster contenders and keep writing steady-state metrics snapshots to this JSON file (e.g. BENCH_metrics.json)")
+		walDir   = flag.String("wal-dir", "", "add the dbtoaster-wal contender (compiled engine with write-ahead logging), keeping its scratch logs under this directory")
 	)
 	flag.Parse()
 
@@ -89,6 +90,9 @@ func main() {
 	if len(shardCounts) > 0 {
 		engines = append(engines, fmt.Sprintf("dbtoaster-sharded-%d", shardCounts[len(shardCounts)-1]))
 	}
+	if *walDir != "" {
+		engines = append(engines, "dbtoaster-wal")
+	}
 	for _, j := range jobs {
 		rep, err := bakeoff.Run(bakeoff.Config{
 			Name:          j.name,
@@ -99,6 +103,7 @@ func main() {
 			MaxEventsSlow: *slowCap,
 			Batch:         *batch,
 			MetricsOut:    *metrics,
+			WALDir:        *walDir,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bakeoff:", err)

@@ -34,6 +34,10 @@ func main() {
 		shards      = flag.Int("shards", 0, "run queries on the sharded runtime with this many shard workers (0 = single-threaded)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json, /debug/vars, and /debug/pprof on this address (empty = no HTTP endpoint)")
 		noMetrics   = flag.Bool("no-metrics", false, "disable instrumentation entirely (METRICS returns ERR)")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory: log every delta and support CHECKPOINT (empty = no durability)")
+		recover     = flag.Bool("recover", false, "rebuild state from -wal-dir at startup (newest valid checkpoint plus log tail)")
+		walSync     = flag.Bool("wal-sync", false, "fsync the WAL on every append (default: checkpoint cadence bounds loss)")
+		ckptEvery   = flag.Uint64("checkpoint-every", 0, "take an automatic checkpoint after this many events (0 = only explicit CHECKPOINT)")
 	)
 	flag.Parse()
 
@@ -74,10 +78,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbtserver: -metrics-addr requires metrics (drop -no-metrics)")
 		os.Exit(1)
 	}
-	s, err := server.NewWithOptions(src, cat, server.Options{Shards: *shards, NoMetrics: *noMetrics})
+	if *recover && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "dbtserver: -recover requires -wal-dir")
+		os.Exit(1)
+	}
+	s, err := server.NewWithOptions(src, cat, server.Options{
+		Shards:          *shards,
+		NoMetrics:       *noMetrics,
+		WALDir:          *walDir,
+		Recover:         *recover,
+		WALSync:         *walSync,
+		CheckpointEvery: *ckptEvery,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtserver:", err)
 		os.Exit(1)
+	}
+	if info, replayErrs := s.Recovery(); info != nil {
+		fmt.Printf("dbtserver: recovered from checkpoint generation %d (watermark %d), replayed %d records", info.CheckpointGen, info.Watermark, info.Replayed)
+		if info.SkippedCheckpoints > 0 || info.TruncatedBytes > 0 || replayErrs > 0 {
+			fmt.Printf(" (skipped %d corrupt checkpoints, truncated %d torn bytes, %d replay rejections)",
+				info.SkippedCheckpoints, info.TruncatedBytes, replayErrs)
+		}
+		fmt.Println()
 	}
 	bound, err := s.Listen(*addr)
 	if err != nil {

@@ -48,6 +48,11 @@ type Config struct {
 	MetricsOut string
 	// MetricsInterval is the snapshot cadence (default 1s).
 	MetricsInterval time.Duration
+	// WALDir enables the "dbtoaster-wal" contender: the compiled engine
+	// with every delta written ahead to a log under this directory,
+	// measuring the cost of durable ingest. Scratch log directories are
+	// created (and removed) per run.
+	WALDir string
 }
 
 // Row is one engine's measurement.
@@ -199,7 +204,15 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{Config: cfg, Reference: ref}
 	for _, name := range names {
 		opts := runtime.Options{Metrics: sink, MetricsLabel: name}
-		e, err := buildEngine(name, q, opts)
+		var (
+			e   engine.Engine
+			err error
+		)
+		if name == "dbtoaster-wal" {
+			e, err = buildWALEngine(cfg, q, opts)
+		} else {
+			e, err = buildEngine(name, q, opts)
+		}
 		if err != nil {
 			return nil, err
 		}

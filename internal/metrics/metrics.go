@@ -47,6 +47,11 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Reset zeroes the counter (the RESET command between bakeoff phases).
+// Concurrent increments race benignly: they land either before or after
+// the reset, never corrupt it.
+func (c *Counter) Reset() { c.v.Store(0) }
+
 // Gauge is an instantaneous atomic value (e.g. live map entries).
 type Gauge struct{ v atomic.Int64 }
 
@@ -118,6 +123,15 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(uint64(v))
+}
+
+// Reset zeroes all buckets and totals.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
 }
 
 // Count returns the number of observations.
@@ -212,6 +226,34 @@ type DispatchStats struct {
 	QueueDepth Histogram
 }
 
+// WorkerApplyStats is one shard (or global) worker's batch-apply series:
+// how many batches it executed and the wall-clock latency of each apply.
+// Unlike the sampled per-trigger latencies, every batch is timed — the
+// clock pair amortizes over the whole batch, so the overhead per event is
+// negligible.
+type WorkerApplyStats struct {
+	Label   string // engine/query scope ("" for unscoped engines)
+	Worker  string // "shard-0" .. "shard-N", "global"
+	Batches Counter
+	Events  Counter
+	ApplyNs Histogram
+}
+
+// WALStats is the durability subsystem's series: write-ahead appends,
+// fsync and checkpoint durations, and recovery activity. Registered once
+// per sink (the WAL is a server-wide facility, not per-query).
+type WALStats struct {
+	Appends         Counter
+	AppendedBytes   Counter
+	Syncs           Counter
+	SyncNs          Histogram
+	Checkpoints     Counter
+	CheckpointNs    Histogram
+	CheckpointBytes Counter
+	Recoveries      Counter
+	ReplayedRecords Counter
+}
+
 // MapStats is one view map's live gauges: entry cardinality and its
 // high-water mark. Entries/Peak move only on entry births and deaths, so
 // steady-state updates (the hot path) never touch them.
@@ -267,13 +309,16 @@ type Sink struct {
 	// path at one atomic per event.
 	Ingested Counter
 
-	mu       sync.Mutex
-	triggers []*TriggerStats
-	trigIdx  map[string]*TriggerStats
-	maps     []*MapStats
-	mapIdx   map[string]*MapStats
-	shard    *DispatchStats
-	global   *DispatchStats
+	mu        sync.Mutex
+	triggers  []*TriggerStats
+	trigIdx   map[string]*TriggerStats
+	maps      []*MapStats
+	mapIdx    map[string]*MapStats
+	shard     *DispatchStats
+	global    *DispatchStats
+	workers   []*WorkerApplyStats
+	workerIdx map[string]*WorkerApplyStats
+	wal       *WALStats
 }
 
 // New creates a Sink with default configuration.
@@ -292,6 +337,7 @@ func NewWithConfig(cfg Config) *Sink {
 		sampleMask: mask,
 		trigIdx:    map[string]*TriggerStats{},
 		mapIdx:     map[string]*MapStats{},
+		workerIdx:  map[string]*WorkerApplyStats{},
 	}
 }
 
@@ -302,8 +348,13 @@ func (s *Sink) Sampled(seq uint64) bool { return seq&s.sampleMask == 0 }
 // SampleInterval returns the latency sampling interval (1 = every firing).
 func (s *Sink) SampleInterval() uint64 { return s.sampleMask + 1 }
 
-// Start returns the sink's creation time (the engine uptime origin).
-func (s *Sink) Start() time.Time { return s.start }
+// Start returns the uptime origin: the sink's creation time, or the most
+// recent Reset.
+func (s *Sink) Start() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}
 
 func trigKey(label, rel string, insert bool) string {
 	op := "-"
@@ -374,6 +425,80 @@ func (s *Sink) GlobalDispatch() *DispatchStats {
 	return s.global
 }
 
+// WorkerApply registers (or returns the existing) batch-apply series for
+// one worker of a sharded engine.
+func (s *Sink) WorkerApply(label, worker string) *WorkerApplyStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := label + "\x00" + worker
+	if w, ok := s.workerIdx[k]; ok {
+		return w
+	}
+	w := &WorkerApplyStats{Label: label, Worker: worker}
+	s.workerIdx[k] = w
+	s.workers = append(s.workers, w)
+	return w
+}
+
+// WAL returns the sink's durability series (created on first use).
+func (s *Sink) WAL() *WALStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		s.wal = &WALStats{}
+	}
+	return s.wal
+}
+
+// Reset zeroes every counter and histogram and restarts the uptime clock,
+// so back-to-back bakeoff phases can share one server without the earlier
+// phase polluting the later phase's rates. Map cardinality gauges describe
+// live state rather than accumulated history, so Entries is kept and Peak
+// collapses to the current cardinality.
+func (s *Sink) Reset() {
+	s.mu.Lock()
+	triggers := append([]*TriggerStats(nil), s.triggers...)
+	maps := append([]*MapStats(nil), s.maps...)
+	workers := append([]*WorkerApplyStats(nil), s.workers...)
+	shard, global, wal := s.shard, s.global, s.wal
+	s.start = time.Now()
+	s.mu.Unlock()
+	s.Ingested.Reset()
+	for _, t := range triggers {
+		t.Count.Reset()
+		t.Errors.Reset()
+		t.Latency.Reset()
+	}
+	for _, m := range maps {
+		m.Peak.Set(m.Entries.Load())
+	}
+	for _, w := range workers {
+		w.Batches.Reset()
+		w.Events.Reset()
+		w.ApplyNs.Reset()
+	}
+	for _, d := range []*DispatchStats{shard, global} {
+		if d == nil {
+			continue
+		}
+		d.Batches.Reset()
+		d.Events.Reset()
+		d.BatchSize.Reset()
+		d.QueueDepth.Reset()
+	}
+	if wal != nil {
+		wal.Appends.Reset()
+		wal.AppendedBytes.Reset()
+		wal.Syncs.Reset()
+		wal.SyncNs.Reset()
+		wal.Checkpoints.Reset()
+		wal.CheckpointNs.Reset()
+		wal.CheckpointBytes.Reset()
+		wal.Recoveries.Reset()
+		wal.ReplayedRecords.Reset()
+	}
+}
+
 // --- Snapshots ---
 
 // TriggerSnapshot is one trigger series at a point in time.
@@ -404,6 +529,29 @@ type DispatchSnapshot struct {
 	QueueDepth HistogramSnapshot `json:"queue_depth"`
 }
 
+// WorkerApplySnapshot is one worker's batch-apply series at a point in
+// time.
+type WorkerApplySnapshot struct {
+	Label   string            `json:"label,omitempty"`
+	Worker  string            `json:"worker"`
+	Batches uint64            `json:"batches"`
+	Events  uint64            `json:"events"`
+	ApplyNs HistogramSnapshot `json:"apply_ns"`
+}
+
+// WALSnapshot is the durability series at a point in time.
+type WALSnapshot struct {
+	Appends         uint64            `json:"appends"`
+	AppendedBytes   uint64            `json:"appended_bytes"`
+	Syncs           uint64            `json:"syncs"`
+	SyncNs          HistogramSnapshot `json:"sync_ns"`
+	Checkpoints     uint64            `json:"checkpoints"`
+	CheckpointNs    HistogramSnapshot `json:"checkpoint_ns"`
+	CheckpointBytes uint64            `json:"checkpoint_bytes"`
+	Recoveries      uint64            `json:"recoveries"`
+	ReplayedRecords uint64            `json:"replayed_records"`
+}
+
 // HeapSnapshot is the process-level memory picture backing the "bytes"
 // side of the map telemetry (Go runtime MemStats).
 type HeapSnapshot struct {
@@ -415,16 +563,18 @@ type HeapSnapshot struct {
 
 // Snapshot is a full, serializable view of a Sink.
 type Snapshot struct {
-	TakenAt        time.Time         `json:"taken_at"`
-	UptimeSeconds  float64           `json:"uptime_seconds"`
-	Events         uint64            `json:"events_total"`
-	EventsPerSec   float64           `json:"events_per_sec"`
-	SampleInterval uint64            `json:"latency_sample_interval"`
-	Triggers       []TriggerSnapshot `json:"triggers"`
-	Maps           []MapSnapshot     `json:"maps"`
-	Shard          *DispatchSnapshot `json:"shard_dispatch,omitempty"`
-	Global         *DispatchSnapshot `json:"global_dispatch,omitempty"`
-	Heap           HeapSnapshot      `json:"heap"`
+	TakenAt        time.Time             `json:"taken_at"`
+	UptimeSeconds  float64               `json:"uptime_seconds"`
+	Events         uint64                `json:"events_total"`
+	EventsPerSec   float64               `json:"events_per_sec"`
+	SampleInterval uint64                `json:"latency_sample_interval"`
+	Triggers       []TriggerSnapshot     `json:"triggers"`
+	Maps           []MapSnapshot         `json:"maps"`
+	Shard          *DispatchSnapshot     `json:"shard_dispatch,omitempty"`
+	Global         *DispatchSnapshot     `json:"global_dispatch,omitempty"`
+	Workers        []WorkerApplySnapshot `json:"worker_apply,omitempty"`
+	WAL            *WALSnapshot          `json:"wal,omitempty"`
+	Heap           HeapSnapshot          `json:"heap"`
 }
 
 func dispatchSnap(d *DispatchStats) *DispatchSnapshot {
@@ -444,17 +594,18 @@ func dispatchSnap(d *DispatchStats) *DispatchSnapshot {
 // flight during the call). Safe to call concurrently with recording.
 func (s *Sink) Snapshot() *Snapshot {
 	now := time.Now()
+	s.mu.Lock()
 	up := now.Sub(s.start).Seconds()
+	triggers := append([]*TriggerStats(nil), s.triggers...)
+	maps := append([]*MapStats(nil), s.maps...)
+	workers := append([]*WorkerApplyStats(nil), s.workers...)
+	shard, global, wal := s.shard, s.global, s.wal
+	s.mu.Unlock()
 	snap := &Snapshot{
 		TakenAt:        now,
 		UptimeSeconds:  up,
 		SampleInterval: s.sampleMask + 1,
 	}
-	s.mu.Lock()
-	triggers := append([]*TriggerStats(nil), s.triggers...)
-	maps := append([]*MapStats(nil), s.maps...)
-	shard, global := s.shard, s.global
-	s.mu.Unlock()
 	// The event total: the dispatcher-counted events plus the trigger
 	// counts of admission-boundary series (each event fires at most one
 	// such trigger).
@@ -510,6 +661,35 @@ func (s *Sink) Snapshot() *Snapshot {
 	})
 	snap.Shard = dispatchSnap(shard)
 	snap.Global = dispatchSnap(global)
+	for _, w := range workers {
+		snap.Workers = append(snap.Workers, WorkerApplySnapshot{
+			Label:   w.Label,
+			Worker:  w.Worker,
+			Batches: w.Batches.Load(),
+			Events:  w.Events.Load(),
+			ApplyNs: w.ApplyNs.Snapshot(),
+		})
+	}
+	sort.Slice(snap.Workers, func(i, j int) bool {
+		a, b := snap.Workers[i], snap.Workers[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Worker < b.Worker
+	})
+	if wal != nil {
+		snap.WAL = &WALSnapshot{
+			Appends:         wal.Appends.Load(),
+			AppendedBytes:   wal.AppendedBytes.Load(),
+			Syncs:           wal.Syncs.Load(),
+			SyncNs:          wal.SyncNs.Snapshot(),
+			Checkpoints:     wal.Checkpoints.Load(),
+			CheckpointNs:    wal.CheckpointNs.Snapshot(),
+			CheckpointBytes: wal.CheckpointBytes.Load(),
+			Recoveries:      wal.Recoveries.Load(),
+			ReplayedRecords: wal.ReplayedRecords.Load(),
+		}
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	snap.Heap = HeapSnapshot{
@@ -562,5 +742,22 @@ func (s *Snapshot) Lines() []string {
 	}
 	writeDispatch("shard", s.Shard)
 	writeDispatch("global", s.Global)
+	for _, w := range s.Workers {
+		label := w.Label
+		if label == "" {
+			label = "-"
+		}
+		out = append(out, fmt.Sprintf(
+			"apply %s %s batches=%d events=%d apply_mean_ns=%.0f apply_p50_ns=%d apply_p99_ns=%d",
+			label, w.Worker, w.Batches, w.Events,
+			w.ApplyNs.Mean(), w.ApplyNs.Quantile(0.50), w.ApplyNs.Quantile(0.99)))
+	}
+	if w := s.WAL; w != nil {
+		out = append(out, fmt.Sprintf(
+			"wal appends=%d appended_bytes=%d syncs=%d sync_p99_ns=%d checkpoints=%d ckpt_mean_ns=%.0f ckpt_bytes=%d recoveries=%d replayed=%d",
+			w.Appends, w.AppendedBytes, w.Syncs, w.SyncNs.Quantile(0.99),
+			w.Checkpoints, w.CheckpointNs.Mean(), w.CheckpointBytes,
+			w.Recoveries, w.ReplayedRecords))
+	}
 	return out
 }

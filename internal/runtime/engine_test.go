@@ -22,7 +22,7 @@ func rstCatalog() *schema.Catalog {
 	)
 }
 
-func compileSQL(t *testing.T, cat *schema.Catalog, src string) *compiler.Compiled {
+func compileSQL(t testing.TB, cat *schema.Catalog, src string) *compiler.Compiled {
 	t.Helper()
 	stmt, err := sql.Parse(src)
 	if err != nil {

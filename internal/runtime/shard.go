@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"dbtoaster/internal/ir"
 	"dbtoaster/internal/metrics"
@@ -79,6 +80,7 @@ type ShardedEngine struct {
 
 	// sink and the dispatch series are nil when instrumentation is off.
 	sink    *metrics.Sink
+	label   string
 	dShard  *metrics.DispatchStats
 	dGlobal *metrics.DispatchStats
 }
@@ -110,6 +112,7 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 		routeIns: map[string]route{},
 		routeDel: map[string]route{},
 		sink:     opts.Base.sink(),
+		label:    opts.Base.MetricsLabel,
 	}
 	if s.sink != nil {
 		s.dShard = s.sink.ShardDispatch()
@@ -163,17 +166,35 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 
 	for i := 0; i < n; i++ {
 		s.workers.Add(1)
-		go s.worker(s.shards[i], s.shardCh[i])
+		go s.worker(s.shards[i], s.shardCh[i], s.applyStats(fmt.Sprintf("shard-%d", i)))
 	}
 	s.workers.Add(1)
-	go s.worker(s.global, s.globalCh)
+	go s.worker(s.global, s.globalCh, s.applyStats("global"))
 	return s, nil
 }
 
-func (s *ShardedEngine) worker(e *Engine, ch chan []Event) {
+// applyStats returns one worker's batch-apply series (nil when metrics
+// are off).
+func (s *ShardedEngine) applyStats(worker string) *metrics.WorkerApplyStats {
+	if s.sink == nil {
+		return nil
+	}
+	return s.sink.WorkerApply(s.label, worker)
+}
+
+func (s *ShardedEngine) worker(e *Engine, ch chan []Event, st *metrics.WorkerApplyStats) {
 	defer s.workers.Done()
 	for batch := range ch {
-		if err := applyBatch(e, batch); err != nil {
+		if st != nil {
+			start := time.Now()
+			err := applyBatch(e, batch)
+			st.ApplyNs.Observe(time.Since(start).Nanoseconds())
+			st.Batches.Inc()
+			st.Events.Add(uint64(len(batch)))
+			if err != nil {
+				s.setErr(err)
+			}
+		} else if err := applyBatch(e, batch); err != nil {
 			s.setErr(err)
 		}
 		s.inflight.Done()

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"dbtoaster/internal/types"
 )
@@ -14,76 +15,224 @@ import (
 // full map state so a standing query can be checkpointed and resumed
 // without replaying its stream.
 //
-//	magic "DBT1"
+//	magic "DBT2"
+//	uint64 WAL watermark (sequence number the state covers; 0 = none)
 //	uint32 map count
 //	per map: uint32 name length, name bytes,
 //	         uint64 entry count,
 //	         per entry: uint32 key length, encoded key bytes, float64 value
 //
 // All integers little-endian; keys use the types.EncodeKey wire form.
-const snapshotMagic = "DBT1"
+// Entries are written in ascending encoded-key order, so two snapshots of
+// identical state are byte-identical regardless of Go map iteration order
+// — the property the crash-recovery fault harness asserts on. The V1
+// format ("DBT1", identical but without the watermark and without the
+// ordering guarantee) is still read for back compatibility.
+const (
+	snapshotMagicV1 = "DBT1"
+	snapshotMagicV2 = "DBT2"
 
-// Snapshot writes the engine's complete map state.
-func (e *Engine) Snapshot(w io.Writer) error {
+	// maxSnapshotStr bounds name/key lengths read from a snapshot so a
+	// corrupted length field cannot demand a multi-gigabyte allocation.
+	maxSnapshotStr = 1 << 20
+)
+
+// Snapshot writes the engine's complete map state (watermark 0).
+func (e *Engine) Snapshot(w io.Writer) error { return e.SnapshotAt(w, 0) }
+
+// SnapshotAt writes the engine's complete map state tagged with a WAL
+// watermark.
+func (e *Engine) SnapshotAt(w io.Writer, watermark uint64) error {
+	return writeSnapshot(w, watermark, e.prog.MapOrder, func(name string, visit func(types.Tuple, float64)) {
+		e.maps[name].Scan(visit)
+	})
+}
+
+// Restore replaces the engine's state with a snapshot previously written
+// by Snapshot against the same compiled program.
+func (e *Engine) Restore(r io.Reader) error {
+	_, err := e.RestoreMeta(r)
+	return err
+}
+
+// RestoreMeta is Restore returning the snapshot's WAL watermark. The
+// snapshot is fully read and validated before any engine state is
+// touched: on error the engine is exactly as it was, so a corrupt
+// checkpoint can fall back to an older generation mid-recovery.
+func (e *Engine) RestoreMeta(r io.Reader) (uint64, error) {
+	staged, watermark, err := readSnapshot(r)
+	if err != nil {
+		return 0, err
+	}
+	for _, ms := range staged {
+		m := e.maps[ms.name]
+		if m == nil {
+			return 0, fmt.Errorf("runtime: snapshot contains unknown map %q", ms.name)
+		}
+		if err := validateEntries(m, ms); err != nil {
+			return 0, err
+		}
+	}
+	clearEngineMaps(e)
+	for _, ms := range staged {
+		m := e.maps[ms.name]
+		for i, k := range ms.keys {
+			m.Add(k, ms.vals[i])
+		}
+	}
+	return watermark, nil
+}
+
+// mapStage is one map's fully decoded snapshot content, held off-engine
+// until the whole snapshot validates.
+type mapStage struct {
+	name string
+	keys []types.Tuple
+	vals []float64
+}
+
+// writeSnapshot serializes map state: scan hands over each named map's
+// entries (possibly from several physical stores whose key sets are
+// disjoint, as in the sharded engine).
+func writeSnapshot(w io.Writer, watermark uint64, mapOrder []string, scan func(name string, visit func(types.Tuple, float64))) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
+	if _, err := bw.WriteString(snapshotMagicV2); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(e.prog.MapOrder))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, watermark); err != nil {
 		return err
 	}
-	for _, name := range e.prog.MapOrder {
-		m := e.maps[name]
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(mapOrder))); err != nil {
+		return err
+	}
+	type kv struct {
+		key string // encoded key bytes
+		val float64
+	}
+	for _, name := range mapOrder {
+		var entries []kv
+		scan(name, func(t types.Tuple, v float64) {
+			entries = append(entries, kv{key: string(types.EncodeKey(t)), val: v})
+		})
+		sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
 			return err
 		}
 		if _, err := bw.WriteString(name); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint64(m.Len())); err != nil {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(entries))); err != nil {
 			return err
 		}
-		var werr error
-		m.Scan(func(t types.Tuple, v float64) {
-			if werr != nil {
-				return
+		for _, e := range entries {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(e.key))); err != nil {
+				return err
 			}
-			k := types.EncodeKey(t)
-			if werr = binary.Write(bw, binary.LittleEndian, uint32(len(k))); werr != nil {
-				return
+			if _, err := bw.WriteString(e.key); err != nil {
+				return err
 			}
-			if _, werr = bw.WriteString(string(k)); werr != nil {
-				return
+			if err := binary.Write(bw, binary.LittleEndian, e.val); err != nil {
+				return err
 			}
-			werr = binary.Write(bw, binary.LittleEndian, v)
-		})
-		if werr != nil {
-			return werr
 		}
 	}
 	return bw.Flush()
 }
 
-// Restore replaces the engine's state with a snapshot previously written
-// by Snapshot against the same compiled program. The engine must not have
-// processed events since construction when slice indexes are in use (the
-// indexes are rebuilt through the normal Add path, so in practice Restore
-// also works on a used engine after its maps are emptied; for clarity,
-// restore into a fresh engine).
-func (e *Engine) Restore(r io.Reader) error {
+// readSnapshot fully decodes a V1 or V2 snapshot into staged form without
+// touching any engine. Every length is bounds-checked and keys decode
+// through types.DecodeKeyChecked, so malformed input yields an error,
+// never a panic.
+func readSnapshot(r io.Reader) ([]mapStage, uint64, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(snapshotMagic))
+	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("runtime: snapshot header: %w", err)
+		return nil, 0, fmt.Errorf("runtime: snapshot header: %w", err)
 	}
-	if string(magic) != snapshotMagic {
-		return fmt.Errorf("runtime: bad snapshot magic %q", magic)
+	var watermark uint64
+	switch string(magic) {
+	case snapshotMagicV1:
+	case snapshotMagicV2:
+		if err := binary.Read(br, binary.LittleEndian, &watermark); err != nil {
+			return nil, 0, fmt.Errorf("runtime: snapshot watermark: %w", err)
+		}
+	default:
+		return nil, 0, fmt.Errorf("runtime: bad snapshot magic %q", magic)
 	}
 	var nMaps uint32
 	if err := binary.Read(br, binary.LittleEndian, &nMaps); err != nil {
-		return err
+		return nil, 0, fmt.Errorf("runtime: snapshot map count: %w", err)
 	}
-	// Clear current state first (through Add, keeping indexes coherent).
+	var staged []mapStage
+	for i := uint32(0); i < nMaps; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, 0, fmt.Errorf("runtime: snapshot map name length: %w", err)
+		}
+		if nameLen > maxSnapshotStr {
+			return nil, 0, fmt.Errorf("runtime: snapshot map name length %d exceeds limit", nameLen)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, 0, fmt.Errorf("runtime: snapshot map name: %w", err)
+		}
+		ms := mapStage{name: string(nameBytes)}
+		var nEntries uint64
+		if err := binary.Read(br, binary.LittleEndian, &nEntries); err != nil {
+			return nil, 0, fmt.Errorf("runtime: snapshot entry count: %w", err)
+		}
+		for j := uint64(0); j < nEntries; j++ {
+			var keyLen uint32
+			if err := binary.Read(br, binary.LittleEndian, &keyLen); err != nil {
+				return nil, 0, fmt.Errorf("runtime: snapshot key length: %w", err)
+			}
+			if keyLen > maxSnapshotStr {
+				return nil, 0, fmt.Errorf("runtime: snapshot key length %d exceeds limit", keyLen)
+			}
+			keyBytes := make([]byte, keyLen)
+			if _, err := io.ReadFull(br, keyBytes); err != nil {
+				return nil, 0, fmt.Errorf("runtime: snapshot key: %w", err)
+			}
+			key, err := types.DecodeKeyChecked(keyBytes)
+			if err != nil {
+				return nil, 0, fmt.Errorf("runtime: snapshot map %s: %w", ms.name, err)
+			}
+			var v float64
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return nil, 0, fmt.Errorf("runtime: snapshot value: %w", err)
+			}
+			ms.keys = append(ms.keys, key)
+			ms.vals = append(ms.vals, v)
+		}
+		staged = append(staged, ms)
+	}
+	return staged, watermark, nil
+}
+
+// validateEntries checks staged entries against the physical map that
+// will receive them: key arity must match the declaration and packed
+// layouts accept only int keys (anything else would panic deep in the
+// packed accessors).
+func validateEntries(m *Map, ms mapStage) error {
+	arity := m.decl.Arity()
+	for _, k := range ms.keys {
+		if len(k) != arity {
+			return fmt.Errorf("runtime: snapshot map %s: key arity %d, declared %d", ms.name, len(k), arity)
+		}
+		if m.kind != storeGeneric {
+			for _, v := range k {
+				if v.Kind() != types.KindInt {
+					return fmt.Errorf("runtime: snapshot map %s: %s key in packed int layout", ms.name, v.Kind())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// clearEngineMaps empties every map through the Add path, keeping slice
+// indexes and sorted mirrors coherent.
+func clearEngineMaps(e *Engine) {
 	for _, name := range e.prog.MapOrder {
 		m := e.maps[name]
 		var keys []types.Tuple
@@ -92,38 +241,77 @@ func (e *Engine) Restore(r io.Reader) error {
 			m.Add(k, -m.Get(k))
 		}
 	}
-	for i := uint32(0); i < nMaps; i++ {
-		var nameLen uint32
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return err
+}
+
+// Snapshot writes the sharded engine's complete map state (watermark 0).
+func (s *ShardedEngine) Snapshot(w io.Writer) error { return s.SnapshotAt(w, 0) }
+
+// SnapshotAt quiesces the workers (Flush is the cross-shard barrier: all
+// pending batches applied, all workers idle) and writes the merged map
+// state — each map's entries drawn from the global worker and every
+// shard, whose key sets are disjoint by the partition invariant.
+func (s *ShardedEngine) SnapshotAt(w io.Writer, watermark uint64) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return writeSnapshot(w, watermark, s.prog.MapOrder, func(name string, visit func(types.Tuple, float64)) {
+		s.global.Map(name).Scan(visit)
+		for _, sh := range s.shards {
+			sh.Map(name).Scan(visit)
 		}
-		nameBytes := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, nameBytes); err != nil {
-			return err
+	})
+}
+
+// Restore replaces the sharded engine's state with a snapshot.
+func (s *ShardedEngine) Restore(r io.Reader) error {
+	_, err := s.RestoreMeta(r)
+	return err
+}
+
+// RestoreMeta restores a snapshot into the sharded engine, routing each
+// entry to the worker that owns it: sharded maps hash the entry's
+// partition-position key value exactly as event routing does, global maps
+// go to the global worker. Returns the snapshot's WAL watermark. Like the
+// single-engine path, validation completes before any state changes.
+func (s *ShardedEngine) RestoreMeta(r io.Reader) (uint64, error) {
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	staged, watermark, err := readSnapshot(r)
+	if err != nil {
+		return 0, err
+	}
+	for _, ms := range staged {
+		// Entries land in shard storage when the map is partitioned, global
+		// storage otherwise; validate against the layout that will receive
+		// them (shards all share one program, hence one layout).
+		var target *Map
+		if _, sharded := s.part.MapPos[ms.name]; sharded {
+			target = s.shards[0].Map(ms.name)
+		} else {
+			target = s.global.Map(ms.name)
 		}
-		m := e.maps[string(nameBytes)]
-		if m == nil {
-			return fmt.Errorf("runtime: snapshot contains unknown map %q", nameBytes)
+		if target == nil {
+			return 0, fmt.Errorf("runtime: snapshot contains unknown map %q", ms.name)
 		}
-		var nEntries uint64
-		if err := binary.Read(br, binary.LittleEndian, &nEntries); err != nil {
-			return err
-		}
-		for j := uint64(0); j < nEntries; j++ {
-			var keyLen uint32
-			if err := binary.Read(br, binary.LittleEndian, &keyLen); err != nil {
-				return err
-			}
-			keyBytes := make([]byte, keyLen)
-			if _, err := io.ReadFull(br, keyBytes); err != nil {
-				return err
-			}
-			var v float64
-			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-				return err
-			}
-			m.Add(types.DecodeKey(types.Key(keyBytes)), v)
+		if err := validateEntries(target, ms); err != nil {
+			return 0, err
 		}
 	}
-	return nil
+	clearEngineMaps(s.global)
+	for _, sh := range s.shards {
+		clearEngineMaps(sh)
+	}
+	for _, ms := range staged {
+		pos, sharded := s.part.MapPos[ms.name]
+		for i, k := range ms.keys {
+			if sharded {
+				sh := int(PartitionHash(k[pos]) % uint32(s.n))
+				s.shards[sh].Map(ms.name).Add(k, ms.vals[i])
+			} else {
+				s.global.Map(ms.name).Add(k, ms.vals[i])
+			}
+		}
+	}
+	return watermark, nil
 }

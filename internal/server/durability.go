@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/wal"
+)
+
+// Checkpoint container format (the payload inside a wal checkpoint file):
+//
+//	uint64 server event counter
+//	uint32 query count
+//	per query: uint32 name length, name bytes,
+//	           uint32 SQL length, whitespace-normalized SQL bytes,
+//	           uint64 blob length, engine snapshot blob (runtime "DBT2")
+//
+// All integers little-endian. The SQL text rides along so recovery can
+// re-register queries beyond "main" and refuse to load state into a
+// server started with different SQL. Queries registered after the last
+// checkpoint are not durable: they (and only they) are lost on crash and
+// must be re-registered.
+
+const maxContainerStr = 1 << 20
+
+func writeString32(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString32(r io.Reader, what string) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("checkpoint %s length: %w", what, err)
+	}
+	if n > maxContainerStr {
+		return "", fmt.Errorf("checkpoint %s length %d exceeds limit", what, n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("checkpoint %s: %w", what, err)
+	}
+	return string(b), nil
+}
+
+func normalSQL(sql string) string { return strings.Join(strings.Fields(sql), " ") }
+
+// writeStateLocked serializes every registered query's state into the
+// checkpoint container. Caller holds s.mu.
+func (s *Server) writeStateLocked(w io.Writer, watermark uint64) error {
+	if err := binary.Write(w, binary.LittleEndian, s.events); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s.order))); err != nil {
+		return err
+	}
+	for _, name := range s.order {
+		r := s.queries[name]
+		d, ok := r.toaster.(engine.Durable)
+		if !ok {
+			return fmt.Errorf("query %q engine does not support snapshots", name)
+		}
+		if err := writeString32(w, name); err != nil {
+			return err
+		}
+		if err := writeString32(w, normalSQL(r.q.SQL)); err != nil {
+			return err
+		}
+		var blob bytes.Buffer
+		if err := d.StateSnapshot(&blob, watermark); err != nil {
+			return fmt.Errorf("query %q snapshot: %w", name, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(blob.Len())); err != nil {
+			return err
+		}
+		if _, err := w.Write(blob.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreState loads a checkpoint container, re-registering any query the
+// running server does not already have and refusing a state/SQL mismatch
+// for the ones it does. Only called during construction, before Listen.
+func (s *Server) restoreState(rd io.Reader) error {
+	var events uint64
+	if err := binary.Read(rd, binary.LittleEndian, &events); err != nil {
+		return fmt.Errorf("checkpoint event counter: %w", err)
+	}
+	var n uint32
+	if err := binary.Read(rd, binary.LittleEndian, &n); err != nil {
+		return fmt.Errorf("checkpoint query count: %w", err)
+	}
+	for i := uint32(0); i < n; i++ {
+		name, err := readString32(rd, "query name")
+		if err != nil {
+			return err
+		}
+		sqlText, err := readString32(rd, "query SQL")
+		if err != nil {
+			return err
+		}
+		var blobLen uint64
+		if err := binary.Read(rd, binary.LittleEndian, &blobLen); err != nil {
+			return fmt.Errorf("checkpoint blob length: %w", err)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(rd, blob); err != nil {
+			return fmt.Errorf("checkpoint blob: %w", err)
+		}
+		r, ok := s.queries[name]
+		if !ok {
+			if err := s.Register(name, sqlText); err != nil {
+				return fmt.Errorf("recover query %q: %w", name, err)
+			}
+			r = s.queries[name]
+		} else if normalSQL(r.q.SQL) != sqlText {
+			return fmt.Errorf("recover query %q: checkpoint SQL %q does not match configured SQL %q",
+				name, sqlText, normalSQL(r.q.SQL))
+		}
+		d, ok := r.toaster.(engine.Durable)
+		if !ok {
+			return fmt.Errorf("query %q engine does not support snapshots", name)
+		}
+		if _, err := d.StateRestore(bytes.NewReader(blob)); err != nil {
+			return fmt.Errorf("recover query %q: %w", name, err)
+		}
+	}
+	s.events = events
+	return nil
+}
+
+// runRecovery rebuilds server state from the WAL directory: checkpoint
+// restore, then idempotent replay of the log tail. Engine-level apply
+// errors during replay are counted, not fatal — a record the engines
+// rejected live is rejected again identically, so skipping it reconverges
+// on the pre-crash state.
+func (s *Server) runRecovery() (wal.RecoveryInfo, error) {
+	return s.wal.Recover(
+		s.restoreState,
+		func(seq uint64, data []byte) error {
+			rel, insert, args, err := wal.DecodeEvent(data)
+			if err != nil {
+				return fmt.Errorf("wal record %d: %w", seq, err)
+			}
+			op := stream.Delete
+			if insert {
+				op = stream.Insert
+			}
+			ev := stream.Event{Op: op, Relation: rel, Args: args}
+			for _, name := range s.order {
+				if err := s.queries[name].toaster.OnEvent(ev); err != nil {
+					s.replayErrs++
+				}
+			}
+			s.events++
+			return nil
+		})
+}
+
+// logEventLocked appends one delta to the WAL (no-op when durability is
+// off). Caller holds s.mu; the append happens before the engines apply,
+// so an acknowledged event is always recoverable.
+func (s *Server) logEventLocked(ev stream.Event) error {
+	if s.wal == nil {
+		return nil
+	}
+	s.walBuf = wal.AppendEvent(s.walBuf[:0], ev.Relation, ev.Op == stream.Insert, ev.Args)
+	_, err := s.wal.Append(s.walBuf)
+	return err
+}
+
+// logBatchLocked appends a batch in one WAL write. Caller holds s.mu.
+func (s *Server) logBatchLocked(evs []stream.Event) error {
+	if s.wal == nil || len(evs) == 0 {
+		return nil
+	}
+	datas := make([][]byte, len(evs))
+	for i, ev := range evs {
+		datas[i] = wal.AppendEvent(nil, ev.Relation, ev.Op == stream.Insert, ev.Args)
+	}
+	_, err := s.wal.AppendBatch(datas)
+	return err
+}
+
+// maybeCheckpointLocked takes an automatic checkpoint when the configured
+// event cadence has elapsed. Caller holds s.mu.
+func (s *Server) maybeCheckpointLocked(applied int) error {
+	if s.wal == nil || s.ckptEvery == 0 {
+		return nil
+	}
+	s.sinceCkpt += uint64(applied)
+	if s.sinceCkpt < s.ckptEvery {
+		return nil
+	}
+	_, _, err := s.checkpointLocked()
+	return err
+}
+
+func (s *Server) checkpointLocked() (gen, watermark uint64, err error) {
+	if s.wal == nil {
+		return 0, 0, fmt.Errorf("durability disabled (no WAL directory)")
+	}
+	gen, watermark, err = s.wal.Checkpoint(s.writeStateLocked)
+	if err == nil {
+		s.sinceCkpt = 0
+	}
+	return gen, watermark, err
+}
+
+// Checkpoint captures all query state through the current WAL watermark
+// and rotates the log. Exposed over the protocol as CHECKPOINT.
+func (s *Server) Checkpoint() (gen, watermark uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// Recovery returns the recovery summary when the server was started with
+// Recover (nil otherwise), plus the count of records the engines rejected
+// during replay.
+func (s *Server) Recovery() (*wal.RecoveryInfo, uint64) {
+	return s.recovery, s.replayErrs
+}

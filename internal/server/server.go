@@ -20,6 +20,11 @@
 //	                                (trigger counters/latencies, map
 //	                                gauges, dispatch stats; see
 //	                                metrics.Snapshot.Lines)
+//	RESET                         → OK (zeroes metrics counters, e.g.
+//	                                between bakeoff phases)
+//	CHECKPOINT                    → OK <generation> <watermark> (captures
+//	                                all query state durably; requires a
+//	                                WAL directory)
 //	QUIT                          → OK (closes the connection)
 //
 // Deltas feed every registered query; queries registered mid-stream see
@@ -46,6 +51,7 @@ import (
 	"dbtoaster/internal/schema"
 	"dbtoaster/internal/stream"
 	"dbtoaster/internal/types"
+	"dbtoaster/internal/wal"
 )
 
 // Options configures a Server.
@@ -59,6 +65,20 @@ type Options struct {
 	Metrics *metrics.Sink
 	// NoMetrics disables instrumentation entirely; METRICS returns ERR.
 	NoMetrics bool
+	// WALDir enables durability: every accepted delta is logged to a
+	// write-ahead log in this directory before the engines apply it, and
+	// CHECKPOINT captures full state. Empty disables durability.
+	WALDir string
+	// Recover rebuilds state from WALDir at startup (newest valid
+	// checkpoint plus log tail). Without it, a WALDir holding prior state
+	// is refused so a misconfigured restart cannot silently shadow it.
+	Recover bool
+	// WALSync fsyncs the log on every append (default off: the checkpoint
+	// cadence bounds loss to the OS page-cache window).
+	WALSync bool
+	// CheckpointEvery takes an automatic checkpoint after this many
+	// accepted events (0 = only explicit CHECKPOINT commands).
+	CheckpointEvery uint64
 }
 
 // Server is a standalone standing-query processor hosting one or more
@@ -74,6 +94,14 @@ type Server struct {
 	events  uint64
 	ln      net.Listener
 	wg      sync.WaitGroup
+
+	// Durability state (nil/zero when WALDir is unset).
+	wal        *wal.Manager
+	walBuf     []byte
+	ckptEvery  uint64
+	sinceCkpt  uint64
+	recovery   *wal.RecoveryInfo
+	replayErrs uint64
 }
 
 // queryEngine is the compiled-engine surface the server needs; both the
@@ -113,7 +141,44 @@ func NewWithOptions(sqlText string, cat *schema.Catalog, opts Options) (*Server,
 	if err := s.Register("main", sqlText); err != nil {
 		return nil, err
 	}
+	if opts.WALDir != "" {
+		wopts := wal.Options{Sync: opts.WALSync}
+		if s.sink != nil {
+			wopts.Stats = s.sink.WAL()
+		}
+		m, err := wal.Open(opts.WALDir, wopts)
+		if err != nil {
+			s.closeEngines()
+			return nil, err
+		}
+		s.wal = m
+		s.ckptEvery = opts.CheckpointEvery
+		if !m.Empty() && !opts.Recover {
+			m.Close()
+			s.closeEngines()
+			return nil, fmt.Errorf("server: WAL directory %s holds prior state; start with recovery enabled or point at an empty directory", opts.WALDir)
+		}
+		if opts.Recover {
+			info, err := s.runRecovery()
+			if err != nil {
+				m.Close()
+				s.closeEngines()
+				return nil, fmt.Errorf("server: recovery: %w", err)
+			}
+			s.recovery = &info
+		}
+	}
 	return s, nil
+}
+
+// closeEngines shuts down engines with worker goroutines; used on
+// constructor error paths where Close is never reached.
+func (s *Server) closeEngines() {
+	for _, name := range s.order {
+		if c, ok := s.queries[name].toaster.(interface{ Close() error }); ok {
+			_ = c.Close()
+		}
+	}
 }
 
 // Sink returns the server's metrics sink (nil when disabled); the daemon
@@ -206,6 +271,11 @@ func (s *Server) Close() error {
 			}
 		}
 	}
+	if s.wal != nil {
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 
@@ -243,30 +313,39 @@ func (s *Server) handleSafe(sc *bufio.Scanner, w *bufio.Writer, line string) (qu
 	return s.handle(sc, w, line)
 }
 
-// applyEvent feeds one delta to every registered query under the lock.
+// applyEvent feeds one delta to every registered query under the lock,
+// logging it to the WAL first (write-ahead: an acknowledged event is
+// always recoverable; a logged-but-rejected event replays to the same
+// rejection, so recovered state matches live state either way).
 func (s *Server) applyEvent(ev stream.Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.logEventLocked(ev); err != nil {
+		return err
+	}
 	for _, name := range s.order {
 		if err := s.queries[name].toaster.OnEvent(ev); err != nil {
 			return err
 		}
 	}
 	s.events++
-	return nil
+	return s.maybeCheckpointLocked(1)
 }
 
 // applyBatch feeds a batch to every registered query under the lock.
 func (s *Server) applyBatch(evs []stream.Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.logBatchLocked(evs); err != nil {
+		return err
+	}
 	for _, name := range s.order {
 		if err := s.queries[name].toaster.OnEventBatch(evs); err != nil {
 			return err
 		}
 	}
 	s.events += uint64(len(evs))
-	return nil
+	return s.maybeCheckpointLocked(len(evs))
 }
 
 // resultOf assembles a query's current answer under the lock.
@@ -413,6 +492,20 @@ func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit b
 		for _, l := range lines {
 			fmt.Fprintln(w, l)
 		}
+	case "RESET":
+		if s.sink == nil {
+			fmt.Fprintln(w, "ERR metrics disabled")
+			return false
+		}
+		s.sink.Reset()
+		fmt.Fprintln(w, "OK")
+	case "CHECKPOINT":
+		gen, wm, err := s.Checkpoint()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "OK %d %d\n", gen, wm)
 	case "QUIT":
 		fmt.Fprintln(w, "OK")
 		return true
@@ -641,6 +734,23 @@ func (c *Client) Stats() (events, entries int, err error) {
 func (c *Client) Metrics() ([]string, error) {
 	_, body, err := c.roundTrip("METRICS")
 	return body, err
+}
+
+// Reset zeroes the server's metrics counters.
+func (c *Client) Reset() error {
+	_, _, err := c.roundTrip("RESET")
+	return err
+}
+
+// Checkpoint captures all query state durably, returning the checkpoint
+// generation and WAL watermark.
+func (c *Client) Checkpoint() (gen, watermark uint64, err error) {
+	head, _, err := c.roundTrip("CHECKPOINT")
+	if err != nil {
+		return 0, 0, err
+	}
+	_, err = fmt.Sscanf(head, "OK %d %d", &gen, &watermark)
+	return gen, watermark, err
 }
 
 // Program fetches the compiled trigger program text.

@@ -2,6 +2,7 @@ package types
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"strings"
 )
@@ -110,6 +111,53 @@ func EncodeKey(t Tuple) Key {
 	// Pre-size: 9 bytes per scalar (1 kind tag + 8 payload); strings may
 	// grow the buffer, scalars never do.
 	return Key(AppendKey(make([]byte, 0, len(t)*9), t))
+}
+
+// DecodeKeyChecked inverts EncodeKey with full bounds validation: it never
+// panics on truncated or malformed input and returns an error instead.
+// Values decode through the public constructors, so the engine's
+// canonicalizations apply (NaN floats become NULL, -0.0 becomes +0.0) and
+// the returned tuple is always in the form the runtime could itself have
+// produced. Snapshot restore and WAL replay decode through here, where the
+// bytes come from disk rather than from our own encoder.
+func DecodeKeyChecked(b []byte) (Tuple, error) {
+	var out Tuple
+	for len(b) > 0 {
+		kind := Kind(b[0])
+		b = b[1:]
+		switch kind {
+		case KindNull:
+			out = append(out, Null)
+		case KindInt, KindBool, KindFloat:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("types: truncated %s key payload", kind)
+			}
+			bits := binary.LittleEndian.Uint64(b)
+			b = b[8:]
+			switch kind {
+			case KindInt:
+				out = append(out, NewInt(int64(bits)))
+			case KindBool:
+				out = append(out, NewBool(bits != 0))
+			default:
+				out = append(out, NewFloat(math.Float64frombits(bits)))
+			}
+		case KindString:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("types: truncated string key length")
+			}
+			n := int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			if n < 0 || n > len(b) {
+				return nil, fmt.Errorf("types: string key length %d exceeds remaining %d bytes", n, len(b))
+			}
+			out = append(out, NewString(string(b[:n])))
+			b = b[n:]
+		default:
+			return nil, fmt.Errorf("types: unknown key kind tag 0x%02x", byte(kind))
+		}
+	}
+	return out, nil
 }
 
 // DecodeKey inverts EncodeKey. It is used by snapshots and the debugger to

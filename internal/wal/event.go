@@ -1,0 +1,52 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dbtoaster/internal/types"
+)
+
+// Event wire form inside a WAL record's application bytes:
+//
+//	op(1: 1=insert, 0=delete) | uint32 relLen | relation | AppendKey(args)
+//
+// The argument tuple reuses the injective key encoding, so decode goes
+// through types.DecodeKeyChecked and inherits its bounds validation and
+// value canonicalization.
+
+// AppendEvent appends the wire form of one base-relation delta to dst.
+func AppendEvent(dst []byte, rel string, insert bool, args types.Tuple) []byte {
+	op := byte(0)
+	if insert {
+		op = 1
+	}
+	dst = append(dst, op)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rel)))
+	dst = append(dst, rel...)
+	return types.AppendKey(dst, args)
+}
+
+// DecodeEvent inverts AppendEvent. It never panics on malformed input.
+func DecodeEvent(b []byte) (rel string, insert bool, args types.Tuple, err error) {
+	if len(b) < 5 {
+		return "", false, nil, fmt.Errorf("wal: event record truncated (%d bytes)", len(b))
+	}
+	switch b[0] {
+	case 0, 1:
+		insert = b[0] == 1
+	default:
+		return "", false, nil, fmt.Errorf("wal: bad event op byte 0x%02x", b[0])
+	}
+	relLen := int(binary.LittleEndian.Uint32(b[1:]))
+	b = b[5:]
+	if relLen < 0 || relLen > len(b) {
+		return "", false, nil, fmt.Errorf("wal: event relation length %d exceeds remaining %d bytes", relLen, len(b))
+	}
+	rel = string(b[:relLen])
+	args, err = types.DecodeKeyChecked(b[relLen:])
+	if err != nil {
+		return "", false, nil, err
+	}
+	return rel, insert, args, nil
+}

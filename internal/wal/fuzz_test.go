@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbtoaster/internal/types"
+)
+
+// FuzzEventDecode: arbitrary bytes through the event decoder return an
+// error or a well-formed event, never a panic.
+func FuzzEventDecode(f *testing.F) {
+	f.Add(AppendEvent(nil, "orders", true,
+		types.Tuple{types.NewInt(1), types.NewFloat(2.5), types.NewString("x")}))
+	f.Add(AppendEvent(nil, "R", false, nil))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rel, _, args, err := DecodeEvent(data)
+		if err == nil {
+			// A decoded event must re-encode without panicking.
+			_ = AppendEvent(nil, rel, true, args)
+		}
+	})
+}
+
+// FuzzSegmentOpen: a WAL directory whose segment holds arbitrary bytes
+// after a valid header must Open, truncate the damage, and replay only
+// intact records — never panic, never error on a torn tail.
+func FuzzSegmentOpen(f *testing.F) {
+	good := appendRecord(nil, 1, []byte("hello"))
+	good = appendRecord(good, 2, []byte("world"))
+	f.Add(good)
+	f.Add(good[:len(good)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		dir := t.TempDir()
+		blob := appendSegHeader(nil, 1)
+		blob = append(blob, body...)
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open on fuzzed segment body: %v", err)
+		}
+		defer m.Close()
+		var lastSeq uint64
+		if _, err := m.Recover(nil, func(seq uint64, data []byte) error {
+			lastSeq = seq
+			return nil
+		}); err != nil {
+			t.Fatalf("Recover on fuzzed segment body: %v", err)
+		}
+		if lastSeq > 0 && m.LastSeq() < lastSeq {
+			t.Fatalf("LastSeq %d below replayed seq %d", m.LastSeq(), lastSeq)
+		}
+	})
+}
+
+// FuzzCheckpointParse: arbitrary bytes as a checkpoint file are either
+// rejected at Open (skipped, possibly leaving no checkpoint) or restore
+// cleanly — never a panic, and never garbage handed to restore.
+func FuzzCheckpointParse(f *testing.F) {
+	f.Add(buildCheckpoint(1, 5, []byte("payload")))
+	f.Add([]byte("DBTC junk"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, ckptName(1)), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open on fuzzed checkpoint: %v", err)
+		}
+		defer m.Close()
+		restored := false
+		if _, err := m.Recover(func(r io.Reader) error {
+			restored = true
+			_, err := io.ReadAll(r)
+			return err
+		}, func(uint64, []byte) error { return nil }); err != nil {
+			t.Fatalf("Recover on fuzzed checkpoint: %v", err)
+		}
+		if restored {
+			// Only a checkpoint that passed CRC validation reaches restore;
+			// re-parse must agree.
+			if _, _, _, err := parseCheckpoint(blob); err != nil {
+				t.Fatalf("restore ran on checkpoint that fails validation: %v", err)
+			}
+		}
+	})
+}

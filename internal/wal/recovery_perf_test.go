@@ -1,0 +1,97 @@
+package wal_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dbtoaster/internal/engine"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/types"
+	"dbtoaster/internal/wal"
+)
+
+// TestRecoveryFasterThanReplay quantifies why checkpoints exist: over a
+// 100k-event stream, recovering from a checkpoint plus a short log tail
+// must beat replaying the entire log through the triggers. The measured
+// numbers (checkpoint size, write duration, both recovery paths) are the
+// EXPERIMENTS.md durability table.
+func TestRecoveryFasterThanReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const nEvents, tail = 100_000, 5_000
+	q := faultQuery(t)
+	v := faultVariants()[0] // single compiled engine
+
+	evs := make([]stream.Event, 0, nEvents)
+	rels := []string{"R", "S", "T"}
+	for i := 0; i < nEvents; i++ {
+		evs = append(evs, stream.Ins(rels[i%3],
+			types.NewInt(int64(i%50)), types.NewInt(int64((i/3)%50))))
+	}
+
+	// seed feeds one directory, checkpointing after ckptAt events (0 = never).
+	seed := func(dir string, ckptAt int) (ckptBytes int64, ckptDur time.Duration) {
+		m, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		e, err := v.build(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closeFaultEngine(e)
+		for i, ev := range evs {
+			rec := wal.AppendEvent(nil, ev.Relation, ev.Op == stream.Insert, ev.Args)
+			if _, err := m.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.OnEvent(ev); err != nil {
+				t.Fatal(err)
+			}
+			if ckptAt > 0 && i+1 == ckptAt {
+				start := time.Now()
+				gen, _, err := m.Checkpoint(e.(engine.Durable).StateSnapshot)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ckptDur = time.Since(start)
+				if st, err := os.Stat(filepath.Join(dir, fmt.Sprintf("ckpt-%08d.ckpt", gen))); err == nil {
+					ckptBytes = st.Size()
+				}
+			}
+		}
+		return ckptBytes, ckptDur
+	}
+
+	ckptDir, replayDir := t.TempDir(), t.TempDir()
+	ckptBytes, ckptDur := seed(ckptDir, nEvents-tail)
+	seed(replayDir, 0)
+
+	timeRecovery := func(dir string) (time.Duration, int) {
+		start := time.Now()
+		e, m, recovered := recoverDir(t, dir, v, q)
+		d := time.Since(start)
+		closeFaultEngine(e)
+		m.Close()
+		if recovered != nEvents {
+			t.Fatalf("%s: recovered %d events, want %d", dir, recovered, nEvents)
+		}
+		return d, recovered
+	}
+	ckptRecovery, _ := timeRecovery(ckptDir)
+	fullReplay, _ := timeRecovery(replayDir)
+
+	t.Logf("events=%d tail=%d checkpoint_bytes=%d checkpoint_write=%s recovery_ckpt+tail=%s recovery_full_replay=%s speedup=%.1fx",
+		nEvents, tail, ckptBytes, ckptDur.Round(time.Microsecond),
+		ckptRecovery.Round(time.Microsecond), fullReplay.Round(time.Microsecond),
+		float64(fullReplay)/float64(ckptRecovery))
+	if ckptRecovery >= fullReplay {
+		t.Fatalf("checkpoint recovery (%s) not faster than full replay (%s) over %d events",
+			ckptRecovery, fullReplay, nEvents)
+	}
+}

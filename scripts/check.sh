@@ -15,5 +15,12 @@ echo "== bench smoke ==" && go test -run xxx -bench '^(BenchmarkFinancial|Benchm
 # the measurement methodology).
 echo "== metrics overhead smoke ==" && sh scripts/metrics_smoke.sh
 
+# Crash recovery: the in-process fault-injection matrix (every WAL/
+# checkpoint crash point, every torn-write split, three engine variants),
+# then a real kill -9 against a live dbtserver with state compared across
+# the restart.
+echo "== crash recovery ==" && go test ./internal/wal/ -run 'TestCrashRecoveryFaultMatrix|TestDoubleCrashRecovery' -count=1
+bash scripts/crash_smoke.sh
+
 echo "== race ==" && go test -race ./...
 echo "tier-1 OK"

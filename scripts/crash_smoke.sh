@@ -1,0 +1,123 @@
+#!/bin/bash
+# Crash-recovery smoke: an end-to-end kill -9 against a live dbtserver.
+#
+# Feeds inserts over the TCP protocol, takes an explicit CHECKPOINT, feeds
+# a post-checkpoint tail, records RESULT and STATS, then kill -9s the
+# process (no shutdown hook runs). A second server started on the same WAL
+# directory with -recover must report the same RESULT rows and the same
+# event counter — checkpoint restore plus log-tail replay, under a real
+# SIGKILL rather than the in-process fault injection the Go tests use.
+#
+# Uses bash's /dev/tcp so no netcat dependency is needed.
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${CRASH_SMOKE_PORT:-7471}"
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/dbtserver" ./cmd/dbtserver
+
+start_server() { # args: extra dbtserver flags
+    "$TMP/dbtserver" -sql 'select B, sum(A) from R group by B' \
+        -tables 'R(A:int,B:int)' -addr "127.0.0.1:$PORT" \
+        -wal-dir "$TMP/wal" "$@" >>"$TMP/server.log" 2>&1 &
+    SRV_PID=$!
+    disown "$SRV_PID" # suppress bash's "Killed" job notice on kill -9
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "crash smoke: server did not come up" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+}
+
+open_conn()  { exec 3<>"/dev/tcp/127.0.0.1/$PORT"; }
+close_conn() { exec 3>&- 3<&- || true; }
+
+# send CMD -> first reply line in $REPLY_LINE; "OK <n>" bodies land in $BODY.
+send() {
+    printf '%s\n' "$1" >&3
+    IFS= read -r REPLY_LINE <&3
+    REPLY_LINE="${REPLY_LINE%$'\r'}"
+    case "$REPLY_LINE" in
+        ERR*) echo "crash smoke: '$1' -> $REPLY_LINE" >&2; exit 1 ;;
+    esac
+}
+
+read_body() { # reads $1 lines from the connection into $BODY
+    BODY=""
+    n="$1"
+    while [ "$n" -gt 0 ]; do
+        IFS= read -r line <&3
+        BODY="$BODY${line%$'\r'}"$'\n'
+        n=$((n - 1))
+    done
+}
+
+fetch_result() { # RESULT rows -> $BODY
+    send "RESULT"
+    read_body "$(echo "$REPLY_LINE" | awk '{print $2}')"
+}
+
+echo "== crash smoke: seed + checkpoint + tail =="
+: >"$TMP/server.log"
+start_server -checkpoint-every 150
+open_conn
+i=0
+while [ $i -lt 300 ]; do
+    send "INSERT R $((i % 17))|$((i % 5))"
+    i=$((i + 1))
+done
+send "CHECKPOINT"
+echo "  checkpoint: $REPLY_LINE"
+while [ $i -lt 500 ]; do
+    send "INSERT R $((i % 17))|$((i % 5))"
+    i=$((i + 1))
+done
+fetch_result
+printf '%s' "$BODY" >"$TMP/result.before"
+send "STATS"
+echo "$REPLY_LINE" >"$TMP/stats.before"
+close_conn
+
+echo "== crash smoke: kill -9 =="
+kill -9 "$SRV_PID"
+while kill -0 "$SRV_PID" 2>/dev/null; do sleep 0.05; done
+SRV_PID=""
+
+echo "== crash smoke: recover =="
+start_server -recover
+grep "recovered from checkpoint" "$TMP/server.log" || {
+    echo "crash smoke: no recovery summary in server log" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+}
+open_conn
+fetch_result
+printf '%s' "$BODY" >"$TMP/result.after"
+send "STATS"
+echo "$REPLY_LINE" >"$TMP/stats.after"
+send "QUIT"
+close_conn
+
+diff -u "$TMP/result.before" "$TMP/result.after" || {
+    echo "crash smoke: RESULT diverged after recovery" >&2
+    exit 1
+}
+diff -u "$TMP/stats.before" "$TMP/stats.after" >/dev/null || {
+    # Entry counts must match too, not just events.
+    echo "crash smoke: STATS diverged after recovery:" >&2
+    echo "  before: $(cat "$TMP/stats.before")" >&2
+    echo "  after:  $(cat "$TMP/stats.after")" >&2
+    exit 1
+}
+echo "crash smoke OK: $(cat "$TMP/stats.after") (500 events survived kill -9)"
