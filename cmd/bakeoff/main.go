@@ -68,6 +68,9 @@ func main() {
 			job{"financial / VWAP threshold", orderbook.QueryVWAPThreshold, orderbook.Catalog(), evs},
 			job{"financial / bid turnover", orderbook.QueryBidTurnover, orderbook.Catalog(), evs},
 			job{"financial / broker activity", orderbook.QueryBrokerActivity, orderbook.Catalog(), evs},
+			job{"financial / broker avg price (AVG)", orderbook.QueryBrokerAvgPrice, orderbook.Catalog(), evs},
+			job{"financial / two-sided volume (EXISTS)", orderbook.QueryTwoSidedVolume, orderbook.Catalog(), evs},
+			job{"financial / bid-ask coverage (LOJ)", orderbook.QueryBidAskSpreadCover, orderbook.Catalog(), evs},
 		)
 	}
 	if *scenario == "warehouse" || *scenario == "all" {
@@ -76,6 +79,7 @@ func main() {
 			job{"warehouse / SSB 4.1", tpch.QuerySSB41, tpch.Catalog(), evs},
 			job{"warehouse / SSB 1.1", tpch.QuerySSB11, tpch.Catalog(), evs},
 			job{"warehouse / load monitor", tpch.QueryLoadMonitor, tpch.Catalog(), evs},
+			job{"warehouse / dimension coverage (LOJ)", tpch.QueryDimCoverage, tpch.Catalog(), evs},
 		)
 	}
 	if len(jobs) == 0 {

@@ -80,3 +80,41 @@ func TestBakeoffRuns(t *testing.T) {
 		t.Errorf("bakeoff reports disagreement:\n%s", out)
 	}
 }
+
+// TestUnsupportedSQLFailsCleanly runs the binaries against unsupported
+// statements: each must exit non-zero with an error naming the offending
+// clause on stderr — never a panic trace.
+func TestUnsupportedSQLFailsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping toolchain invocation")
+	}
+	cases := []struct {
+		bin, sql, want string
+	}{
+		{"./cmd/dbtoaster", "select sum(A) from R right join S on R.B = S.B", "RIGHT OUTER JOIN is not supported"},
+		{"./cmd/dbtoaster", "select min(S.C) from R left outer join S on R.B = S.B", "MIN with LEFT OUTER JOIN is not supported"},
+		{"./cmd/dbtserver", "select sum(A) from R where exists (select * from S, T where S.C = T.C)", "EXISTS subquery supports exactly one FROM relation"},
+		{"./cmd/dbtserver", "select * from R", "SELECT * is only supported inside EXISTS subqueries"},
+	}
+	for _, tc := range cases {
+		args := []string{"run", tc.bin,
+			"-tables", "R(A:int,B:int);S(B:int,C:int);T(C:int,D:int)",
+			"-sql", tc.sql}
+		if tc.bin == "./cmd/dbtoaster" {
+			args = append(args, "-program")
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Dir = ".."
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("%s with %q succeeded, want compile error", tc.bin, tc.sql)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%s with %q: output does not name the clause (want %q):\n%s", tc.bin, tc.sql, tc.want, out)
+		}
+		if strings.Contains(string(out), "panic:") {
+			t.Errorf("%s with %q panicked:\n%s", tc.bin, tc.sql, out)
+		}
+	}
+}

@@ -139,6 +139,21 @@ func enumerate(db DB, t Term, env Env, emit func(Env, float64) error) error {
 		}
 		return emit(env, v.Float())
 	case *Cmp:
+		// An equality whose one side is a bare unbound variable is a binding
+		// factor, mirroring the runtime's pending-equality machinery: [x = e]
+		// binds x := e with weight 1 (CmpEq is null-safe, so the indicator is
+		// true by construction for the bound value).
+		if t.Op == CmpEq {
+			if v, ok := bindableSide(t.L, t.R, env); ok {
+				val, err := EvalVal(v.expr, env)
+				if err != nil {
+					return err
+				}
+				e2 := env.Clone()
+				e2[v.target] = val
+				return emit(e2, 1)
+			}
+		}
 		l, err := EvalVal(t.L, env)
 		if err != nil {
 			return err
@@ -179,28 +194,109 @@ func enumerate(db DB, t Term, env Env, emit func(Env, float64) error) error {
 		if err != nil {
 			return err
 		}
-		// Deterministic iteration keeps error behaviour stable in tests.
-		keys := make([]string, 0, len(grouped))
-		for k := range grouped {
-			keys = append(keys, string(k))
+		return emitGroups(env, t.GroupVars, grouped, emit)
+	case *Exists:
+		grouped, err := Eval(db, t.Body, t.Keys, env)
+		if err != nil {
+			return err
 		}
-		sort.Strings(keys)
-		for _, ks := range keys {
-			k := types.Key(ks)
-			tuple := types.DecodeKey(k)
-			e2, ok := unify(env, t.GroupVars, tuple)
-			if !ok {
-				continue
-			}
-			if err := emit(e2, grouped[k]); err != nil {
-				return err
+		weights := make(GroupedResult, len(grouped))
+		for k, count := range grouped {
+			if count > 0 {
+				weights[k] = 1
 			}
 		}
-		return nil
+		return emitGroups(env, t.Keys, weights, emit)
+	case *ExistsDelta:
+		pre, err := Eval(db, t.Body, t.Keys, env)
+		if err != nil {
+			return err
+		}
+		post, err := Eval(db, NewSum(t.Body, t.DBody), t.Keys, env)
+		if err != nil {
+			return err
+		}
+		ind := func(c float64) float64 {
+			if c > 0 {
+				return 1
+			}
+			return 0
+		}
+		weights := GroupedResult{}
+		for k, c := range post {
+			weights[k] = ind(c)
+		}
+		for k, c := range pre {
+			weights[k] -= ind(c)
+		}
+		for k, w := range weights {
+			if w == 0 {
+				delete(weights, k)
+			}
+		}
+		return emitGroups(env, t.Keys, weights, emit)
 	case *MapRef:
 		return fmt.Errorf("algebra: cannot evaluate MapRef %s against base data", t)
 	}
 	return fmt.Errorf("algebra: unknown term %T", t)
+}
+
+// emitGroups emits one (environment, weight) pair per grouped entry,
+// unifying the group variables against the decoded key tuple. Deterministic
+// iteration keeps error behaviour stable in tests.
+func emitGroups(env Env, groupVars []Var, grouped GroupedResult, emit func(Env, float64) error) error {
+	keys := make([]string, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	for _, ks := range keys {
+		k := types.Key(ks)
+		tuple := types.DecodeKey(k)
+		e2, ok := unify(env, groupVars, tuple)
+		if !ok {
+			continue
+		}
+		if err := emit(e2, grouped[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eqBinding is an equality factor's binding action: set target := expr.
+type eqBinding struct {
+	target Var
+	expr   ValExpr
+}
+
+// bindableSide reports whether an equality [l = r] can act as a binder under
+// env: one side is a bare unbound variable and the other side is fully
+// evaluable.
+func bindableSide(l, r ValExpr, env Env) (eqBinding, bool) {
+	unbound := func(e ValExpr) (Var, bool) {
+		v, ok := e.(*VVar)
+		if !ok {
+			return "", false
+		}
+		_, bound := env[v.Name]
+		return v.Name, !bound
+	}
+	evaluable := func(e ValExpr) bool {
+		for _, v := range FreeVars(&Val{Expr: e}) {
+			if _, ok := env[v]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if v, ok := unbound(l); ok && evaluable(r) {
+		return eqBinding{target: v, expr: r}, true
+	}
+	if v, ok := unbound(r); ok && evaluable(l) {
+		return eqBinding{target: v, expr: l}, true
+	}
+	return eqBinding{}, false
 }
 
 func enumProd(db DB, fs []Term, env Env, acc float64, emit func(Env, float64) error) error {
@@ -228,7 +324,7 @@ func orderFactors(fs []Term, env Env) []Term {
 	var binders, guards []Term
 	for _, f := range fs {
 		switch f.(type) {
-		case *Rel, *AggSum, *MapRef:
+		case *Rel, *AggSum, *MapRef, *Exists, *ExistsDelta:
 			binders = append(binders, f)
 		default:
 			guards = append(guards, f)
@@ -236,28 +332,50 @@ func orderFactors(fs []Term, env Env) []Term {
 	}
 	out := make([]Term, 0, len(fs))
 	pending := guards
-	needs := func(g Term) []Var {
-		if l, ok := g.(*Lift); ok {
-			return FreeVars(&Val{Expr: l.Expr})
+	allBound := func(vs []Var) bool {
+		for _, v := range vs {
+			if !bound[v] {
+				return false
+			}
 		}
-		return FreeVars(g)
+		return true
+	}
+	// ready reports whether guard g can evaluate now, and which variable (if
+	// any) it binds: a Lift binds its variable once its expression's
+	// variables are bound; an equality [x = e] with bare unbound x and bound
+	// e binds x (the evaluator's pending-equality rule).
+	ready := func(g Term) (bool, Var) {
+		switch g := g.(type) {
+		case *Lift:
+			return allBound(FreeVars(&Val{Expr: g.Expr})), g.Var
+		case *Cmp:
+			if allBound(FreeVars(g)) {
+				return true, ""
+			}
+			if g.Op != CmpEq {
+				return false, ""
+			}
+			if v, ok := g.L.(*VVar); ok && !bound[v.Name] && allBound(FreeVars(&Val{Expr: g.R})) {
+				return true, v.Name
+			}
+			if v, ok := g.R.(*VVar); ok && !bound[v.Name] && allBound(FreeVars(&Val{Expr: g.L})) {
+				return true, v.Name
+			}
+			return false, ""
+		default:
+			return allBound(FreeVars(g)), ""
+		}
 	}
 	takeReady := func() {
 		for {
 			progressed := false
 			rest := pending[:0]
 			for _, g := range pending {
-				ready := true
-				for _, v := range needs(g) {
-					if !bound[v] {
-						ready = false
-						break
-					}
-				}
-				if ready {
+				ok, binds := ready(g)
+				if ok {
 					out = append(out, g)
-					if l, ok := g.(*Lift); ok {
-						bound[l.Var] = true
+					if binds != "" {
+						bound[binds] = true
 					}
 					progressed = true
 				} else {

@@ -1,0 +1,101 @@
+package algebra
+
+import "strings"
+
+// Exists is the decorrelated EXISTS/IN indicator of the 2012 recursive-delta
+// scheme: for each binding of Keys it is 1 when AggSum(Keys, Body) > 0 and 0
+// otherwise (DBSP's distinct applied to the subquery's Z-set). Keys are the
+// correlation variables shared with the enclosing query; every other free
+// variable of Body is existentially bound inside the term, mirroring AggSum.
+//
+// The compiler materializes Exists by registering the per-key count
+// AggSum(Keys, Body) as an auxiliary map C and reading the factor as the
+// guard [C[Keys] > 0]; the delta rule replaces Exists by ExistsDelta.
+type Exists struct {
+	Keys []Var
+	Body Term
+}
+
+// ExistsDelta is the delta of an Exists factor under one base-relation
+// event: per Keys binding its value is
+//
+//	[AggSum(Keys, Body + DBody) > 0] − [AggSum(Keys, Body) > 0]
+//
+// i.e. +1 when the group appears, −1 when it disappears, 0 otherwise. It is
+// produced by delta.Apply and consumed by the compiler's materialization
+// (which turns it into count-map lookups plus the event's contribution);
+// it never appears inside a map definition.
+type ExistsDelta struct {
+	Keys  []Var
+	Body  Term
+	DBody Term
+}
+
+func (*Exists) termNode()      {}
+func (*ExistsDelta) termNode() {}
+
+// boundInterior returns the set of variables bound inside the Exists term:
+// the body's free variables minus the keys.
+func existsInterior(keys []Var, body Term) map[Var]bool {
+	interior := FreeVarSet(body)
+	for _, k := range keys {
+		delete(interior, k)
+	}
+	return interior
+}
+
+func (e *Exists) freeVars(set map[Var]bool) {
+	for _, k := range e.Keys {
+		set[k] = true
+	}
+}
+
+func (e *ExistsDelta) freeVars(set map[Var]bool) {
+	for _, k := range e.Keys {
+		set[k] = true
+	}
+	// DBody references event parameters, which are free; body-interior
+	// variables stay bound.
+	interior := existsInterior(e.Keys, e.Body)
+	for v := range FreeVarSet(e.DBody) {
+		if !interior[v] {
+			set[v] = true
+		}
+	}
+}
+
+// innerSubst drops mappings whose source is bound inside the term, exactly
+// like AggSum's capture-aware substitution.
+func existsInnerSubst(s map[Var]Var, keys []Var, body Term) map[Var]Var {
+	interior := existsInterior(keys, body)
+	inner := map[Var]Var{}
+	for from, to := range s {
+		if interior[from] {
+			continue
+		}
+		inner[from] = to
+	}
+	return inner
+}
+
+func (e *Exists) substitute(s map[Var]Var) Term {
+	inner := existsInnerSubst(s, e.Keys, e.Body)
+	return &Exists{Keys: subVars(s, e.Keys), Body: e.Body.substitute(inner)}
+}
+
+func (e *ExistsDelta) substitute(s map[Var]Var) Term {
+	inner := existsInnerSubst(s, e.Keys, e.Body)
+	return &ExistsDelta{
+		Keys:  subVars(s, e.Keys),
+		Body:  e.Body.substitute(inner),
+		DBody: e.DBody.substitute(inner),
+	}
+}
+
+func (e *Exists) String() string {
+	return "Exists{" + strings.Join(e.Keys, ",") + "}(" + e.Body.String() + ")"
+}
+
+func (e *ExistsDelta) String() string {
+	return "ExistsΔ{" + strings.Join(e.Keys, ",") + "}(" + e.Body.String() + " | " + e.DBody.String() + ")"
+}

@@ -429,6 +429,11 @@ func collectRels(t Term, set map[string]bool) {
 		}
 	case *AggSum:
 		collectRels(t.Body, set)
+	case *Exists:
+		collectRels(t.Body, set)
+	case *ExistsDelta:
+		collectRels(t.Body, set)
+		collectRels(t.DBody, set)
 	}
 }
 
@@ -454,6 +459,10 @@ func RelAtomCount(t Term) int {
 		return n
 	case *AggSum:
 		return RelAtomCount(t.Body)
+	case *Exists:
+		return RelAtomCount(t.Body)
+	case *ExistsDelta:
+		return RelAtomCount(t.Body) + RelAtomCount(t.DBody)
 	default:
 		return 0
 	}

@@ -333,6 +333,11 @@ func (c *Compiler) compileTrigger(m *ir.MapDecl, ev delta.Event) error {
 		if err != nil {
 			return err
 		}
+		if stmt == nil {
+			// An EXISTS factor's delta vanished under this event's
+			// constraints; the monomial contributes nothing.
+			continue
+		}
 		if c.trace != nil {
 			fmt.Fprintf(c.trace, "  statement: %s\n", stmt)
 		}

@@ -33,15 +33,31 @@ func (c *Compiler) materialize(target *ir.MapDecl, ev delta.Event, mono simplify
 		outs[k] = true
 	}
 
-	// 1. Classify factors.
+	// 1. Classify factors. Exists/ExistsDelta factors become auxiliary
+	// count-map guards (the paper's decorrelation): each registers the
+	// per-key count AggSum(Keys, Body) as a map and reads it through a
+	// [count > 0] indicator.
 	var rels []*algebra.Rel
 	var guards []algebra.Term
+	var exparts []*existPart
 	for _, f := range mono.Factors {
 		switch f := f.(type) {
 		case *algebra.Rel:
 			rels = append(rels, f)
 		case *algebra.Val, *algebra.Cmp, *algebra.Lift:
 			guards = append(guards, f)
+		case *algebra.Exists:
+			ep, err := c.registerExists(target, f.Keys, f.Body, nil, params, outs)
+			if err != nil {
+				return nil, err
+			}
+			exparts = append(exparts, ep)
+		case *algebra.ExistsDelta:
+			ep, err := c.registerExists(target, f.Keys, f.Body, f, params, outs)
+			if err != nil {
+				return nil, err
+			}
+			exparts = append(exparts, ep)
 		default:
 			return nil, fmt.Errorf("unexpected factor %s in delta monomial", f)
 		}
@@ -90,6 +106,21 @@ func (c *Compiler) materialize(target *ir.MapDecl, ev delta.Event, mono simplify
 			}
 			if interior(v) && relVars[v] {
 				promoted[v] = true
+			}
+		}
+	}
+	// Exists lookup keys behave like statement-side guard variables: keys
+	// covered by relation columns are promoted (enumerated by loops); keys
+	// bound only through equalities are computed.
+	for _, ep := range exparts {
+		for _, v := range ep.keys {
+			if !interior(v) {
+				continue
+			}
+			if relVars[v] {
+				promoted[v] = true
+			} else {
+				computed[v] = true
 			}
 		}
 	}
@@ -360,6 +391,18 @@ func (c *Compiler) materialize(target *ir.MapDecl, ev delta.Event, mono simplify
 		}
 		parts = append(parts, &ir.Lookup{Map: cp.decl.Name, Keys: keys})
 	}
+	for _, ep := range exparts {
+		expr, zero, err := ep.assemble(ev, resolved, available)
+		if err != nil {
+			return nil, err
+		}
+		if zero {
+			// The body's delta vanished under this event's constraints: the
+			// indicator cannot change, so the monomial contributes nothing.
+			return nil, nil
+		}
+		parts = append(parts, expr)
+	}
 	deltaExpr := foldProduct(parts)
 
 	keys := make([]ir.Expr, len(target.Keys))
@@ -373,6 +416,112 @@ func (c *Compiler) materialize(target *ir.MapDecl, ev delta.Event, mono simplify
 		Delta:  deltaExpr,
 		Level:  target.Level,
 	}, nil
+}
+
+// existPart is a classified Exists/ExistsDelta factor: the auxiliary count
+// map (AggSum(Keys, Body), maintained recursively like any other map) plus,
+// for deltas, the simplified monomials of the body's change under the event.
+type existPart struct {
+	keys       []algebra.Var // lookup variable per count-map key position
+	decl       *ir.MapDecl
+	isDelta    bool
+	deltaMonos []simplify.Monomial
+}
+
+// registerExists materializes the count map behind an Exists/ExistsDelta
+// factor and, for deltas, pre-simplifies the body's delta into parameter-
+// and key-level scalar factors.
+func (c *Compiler) registerExists(target *ir.MapDecl, keys []algebra.Var, body algebra.Term, d *algebra.ExistsDelta, params, outs map[algebra.Var]bool) (*existPart, error) {
+	keySet := map[algebra.Var]bool{}
+	for _, k := range keys {
+		keySet[k] = true
+	}
+	var factors []algebra.Term
+	if p, ok := body.(*algebra.Prod); ok {
+		factors = p.Factors
+	} else {
+		factors = []algebra.Term{body}
+	}
+	def, extOrder := canonicalize(factors, keySet, keys)
+	decl := c.register(def, "", target.Level+1, false)
+	ep := &existPart{keys: extOrder, decl: decl}
+	if d == nil {
+		return ep, nil
+	}
+	ep.isDelta = true
+	fv := algebra.FreeVarSet(d)
+	bound := func(v algebra.Var) bool { return fv[v] || params[v] || outs[v] }
+	ep.deltaMonos = simplify.Simplify(d.DBody, bound)
+	for _, mono := range ep.deltaMonos {
+		for _, f := range mono.Factors {
+			switch f.(type) {
+			case *algebra.Val, *algebra.Cmp:
+			default:
+				return nil, fmt.Errorf("EXISTS/IN subquery delta has unsupported factor %s (subquery bodies are limited to one relation plus scalar predicates)", f)
+			}
+		}
+	}
+	return ep, nil
+}
+
+// assemble lowers the factor to its statement expression: [C[k] > 0] for a
+// plain Exists, or [C[k]+δ > 0] − [C[k] > 0] for an ExistsDelta, where δ is
+// the event's contribution to the count (the statement reads C's pre-state;
+// SortStmts orders it before C's own update). zero reports that δ is
+// identically 0, annihilating the enclosing monomial.
+func (ep *existPart) assemble(ev delta.Event, resolved map[algebra.Var]algebra.ValExpr, available map[algebra.Var]bool) (ir.Expr, bool, error) {
+	lookup := func() (ir.Expr, error) {
+		keys := make([]ir.Expr, len(ep.keys))
+		for i, v := range ep.keys {
+			if !available[v] {
+				return nil, fmt.Errorf("EXISTS key %s of map %s is not derivable for event %s", v, ep.decl.Name, ev.Name())
+			}
+			keys[i] = convertVal(&algebra.VVar{Name: v}, resolved, available)
+		}
+		return &ir.Lookup{Map: ep.decl.Name, Keys: keys}, nil
+	}
+	zero := func() ir.Expr { return &ir.Const{Value: types.NewInt(0)} }
+	cur, err := lookup()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ep.isDelta {
+		return &ir.CmpE{Op: algebra.CmpGt, L: cur, R: zero()}, false, nil
+	}
+	var dexpr ir.Expr
+	for _, mono := range ep.deltaMonos {
+		var mparts []ir.Expr
+		for _, f := range mono.Factors {
+			switch f := f.(type) {
+			case *algebra.Val:
+				mparts = append(mparts, convertVal(f.Expr, resolved, available))
+			case *algebra.Cmp:
+				mparts = append(mparts, &ir.CmpE{
+					Op: f.Op,
+					L:  convertVal(f.L, resolved, available),
+					R:  convertVal(f.R, resolved, available),
+				})
+			}
+		}
+		m := foldProduct(mparts)
+		if dexpr == nil {
+			dexpr = m
+		} else {
+			dexpr = &ir.Arith{Op: '+', L: dexpr, R: m}
+		}
+	}
+	if dexpr == nil {
+		return nil, true, nil
+	}
+	post, err := lookup()
+	if err != nil {
+		return nil, false, err
+	}
+	return &ir.Arith{
+		Op: '-',
+		L:  &ir.CmpE{Op: algebra.CmpGt, L: &ir.Arith{Op: '+', L: post, R: dexpr}, R: zero()},
+		R:  &ir.CmpE{Op: algebra.CmpGt, L: cur, R: zero()},
+	}, false, nil
 }
 
 // convertVal lowers a scalar algebra expression to a runtime expression,

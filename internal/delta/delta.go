@@ -86,6 +86,19 @@ func Apply(t algebra.Term, ev Event) algebra.Term {
 			GroupVars: append([]algebra.Var{}, t.GroupVars...),
 			Body:      Apply(t.Body, ev),
 		}
+	case *algebra.Exists:
+		// ΔExists(K, B) = [Sum(K, B+ΔB) > 0] − [Sum(K, B) > 0]: the change
+		// of the 0/1 indicator, not the change of the count (the 2012
+		// paper's treatment of decorrelated EXISTS). Untouched bodies have
+		// zero delta.
+		if !Touches(t.Body, ev.Rel.Name) {
+			return algebra.Zero()
+		}
+		return &algebra.ExistsDelta{
+			Keys:  append([]algebra.Var{}, t.Keys...),
+			Body:  t.Body,
+			DBody: Apply(t.Body, ev),
+		}
 	default:
 		// Val, Cmp, Lift, MapRef: constants with respect to base data.
 		return algebra.Zero()

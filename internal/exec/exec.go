@@ -200,6 +200,10 @@ func Plan(db *store.Store, factors []algebra.Term, env algebra.Env) (Iterator, f
 			rels = append(rels, f)
 		case *algebra.Val, *algebra.Cmp, *algebra.Lift:
 			guards = append(guards, f)
+		case *algebra.Exists, *algebra.ExistsDelta:
+			// Decorrelated EXISTS indicator: evaluated per binding of its
+			// keys by a recursive sub-plan over the subquery body.
+			guards = append(guards, f)
 		case *algebra.AggSum:
 			return nil, 0, fmt.Errorf("exec: nested AggSum not supported in plans (got %s)", f)
 		default:
@@ -209,7 +213,7 @@ func Plan(db *store.Store, factors []algebra.Term, env algebra.Env) (Iterator, f
 	if len(rels) == 0 {
 		// All guards must be evaluable from env alone.
 		for _, g := range guards {
-			w, err := guardWeight(g, env)
+			w, err := guardWeight(db, g, env)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -224,7 +228,7 @@ func Plan(db *store.Store, factors []algebra.Term, env algebra.Env) (Iterator, f
 	cur := Iterator(newScan(db, rels[0], env))
 	used[0] = true
 	attach := func(it Iterator) (Iterator, error) {
-		return applyReadyGuards(it, &guards, env)
+		return applyReadyGuards(db, it, &guards, env)
 	}
 	var err error
 	cur, err = attach(cur)
@@ -265,7 +269,7 @@ func Plan(db *store.Store, factors []algebra.Term, env algebra.Env) (Iterator, f
 	return cur, constWeight, nil
 }
 
-func guardWeight(g algebra.Term, env algebra.Env) (float64, error) {
+func guardWeight(db *store.Store, g algebra.Term, env algebra.Env) (float64, error) {
 	switch g := g.(type) {
 	case *algebra.Val:
 		v, err := algebra.EvalVal(g.Expr, env)
@@ -286,14 +290,48 @@ func guardWeight(g algebra.Term, env algebra.Env) (float64, error) {
 			return 1, nil
 		}
 		return 0, nil
+	case *algebra.Exists, *algebra.ExistsDelta:
+		return existsWeight(db, g, env)
 	}
 	return 0, fmt.Errorf("exec: guard %s not evaluable from parameters", g)
+}
+
+// existsWeight evaluates an EXISTS indicator with its keys bound by env: the
+// subquery body is planned recursively and reduced to its count. A plain
+// Exists yields the 0/1 indicator; an ExistsDelta yields the change of the
+// indicator under the event's body delta (−1, 0, or +1).
+func existsWeight(db *store.Store, g algebra.Term, env algebra.Env) (float64, error) {
+	ind := func(c float64) float64 {
+		if c > 0 {
+			return 1
+		}
+		return 0
+	}
+	switch g := g.(type) {
+	case *algebra.Exists:
+		c, err := RunScalar(db, g.Body, env)
+		if err != nil {
+			return 0, err
+		}
+		return ind(c), nil
+	case *algebra.ExistsDelta:
+		pre, err := RunScalar(db, g.Body, env)
+		if err != nil {
+			return 0, err
+		}
+		post, err := RunScalar(db, algebra.NewSum(g.Body, g.DBody), env)
+		if err != nil {
+			return 0, err
+		}
+		return ind(post) - ind(pre), nil
+	}
+	return 0, fmt.Errorf("exec: %s is not an EXISTS indicator", g)
 }
 
 // applyReadyGuards wraps it with Filter/Extend/Scale operators for every
 // guard whose variables are now bound (schema + env). Lifts may bind new
 // columns, which can make further guards ready, so this iterates.
-func applyReadyGuards(it Iterator, guards *[]algebra.Term, env algebra.Env) (Iterator, error) {
+func applyReadyGuards(db *store.Store, it Iterator, guards *[]algebra.Term, env algebra.Env) (Iterator, error) {
 	for {
 		progressed := false
 		rest := (*guards)[:0]
@@ -323,6 +361,8 @@ func applyReadyGuards(it Iterator, guards *[]algebra.Term, env algebra.Env) (Ite
 				it = newFilter(it, g, env)
 			case *algebra.Val:
 				it = newScale(it, g.Expr, env)
+			case *algebra.Exists, *algebra.ExistsDelta:
+				it = newExistsGuard(db, it, g, env)
 			}
 			progressed = true
 		}

@@ -331,6 +331,89 @@ func (e *extend) Next() (Row, bool) {
 	return Row{Tuple: out, Weight: row.Weight}, true
 }
 
+// existsGuard multiplies each row's weight by an EXISTS indicator whose
+// keys are bound from the row's columns (falling back to env), evaluating
+// the subquery body with a recursive sub-plan per distinct key binding.
+// Results are memoized per Open: correlated EXISTS typically repeats the
+// same key across many rows of the outer join.
+type existsGuard struct {
+	db    *store.Store
+	in    Iterator
+	guard algebra.Term // *algebra.Exists or *algebra.ExistsDelta
+	env   algebra.Env
+	vars  []algebra.Var // free vars of the guard, bound per row
+	pos   []int         // schema position per var; -1 means env-bound
+	memo  map[types.Key]float64
+}
+
+func newExistsGuard(db *store.Store, in Iterator, guard algebra.Term, env algebra.Env) *existsGuard {
+	g := &existsGuard{db: db, in: in, guard: guard, env: env, vars: algebra.FreeVars(guard)}
+	for _, v := range g.vars {
+		p := -1
+		for i, s := range in.Schema() {
+			if s == v {
+				p = i
+				break
+			}
+		}
+		g.pos = append(g.pos, p)
+	}
+	return g
+}
+
+func (g *existsGuard) Schema() []algebra.Var { return g.in.Schema() }
+
+func (g *existsGuard) Open() error {
+	g.memo = map[types.Key]float64{}
+	// Probe the sub-plan once with null key bindings: planning failures are
+	// structural (they depend on which variables are bound, never on their
+	// values), so a successful probe means per-row evaluation cannot fail.
+	env2 := g.env.Clone()
+	for _, v := range g.vars {
+		if _, ok := env2[v]; !ok {
+			env2[v] = types.Null
+		}
+	}
+	if _, err := existsWeight(g.db, g.guard, env2); err != nil {
+		return err
+	}
+	return g.in.Open()
+}
+
+func (g *existsGuard) Next() (Row, bool) {
+	key := make(types.Tuple, len(g.vars))
+	for {
+		row, ok := g.in.Next()
+		if !ok {
+			return Row{}, false
+		}
+		for i, p := range g.pos {
+			if p >= 0 {
+				key[i] = row.Tuple[p]
+			} else {
+				key[i] = g.env[g.vars[i]]
+			}
+		}
+		k := types.EncodeKey(key)
+		w, ok := g.memo[k]
+		if !ok {
+			env2 := g.env.Clone()
+			for i, v := range g.vars {
+				env2[v] = key[i]
+			}
+			// The Open-time probe established that evaluation cannot fail
+			// with these variables bound.
+			w, _ = existsWeight(g.db, g.guard, env2)
+			g.memo[k] = w
+		}
+		if w == 0 {
+			continue
+		}
+		row.Weight *= w
+		return row, true
+	}
+}
+
 // scale multiplies the row weight by a scalar expression (Val factors).
 type scale struct {
 	in   Iterator

@@ -88,21 +88,39 @@ func inferMapKinds(m *MapDecl, cat *schema.Catalog) error {
 	for v := range conflict {
 		delete(varKinds, v)
 	}
-	// Lifts next: their expressions close over relation variables, and a
-	// lift may feed another lift, so resolve to a fixed point.
+	// Lifts and equality factors next: a lift's expression closes over
+	// relation variables, and a variable bound only through [x = k]
+	// (canonicalized count-map keys) inherits its partner's kind. Both may
+	// chain, so resolve to a fixed point.
 	for changed := true; changed; {
 		changed = false
 		for _, f := range factors {
-			l, ok := f.(*algebra.Lift)
-			if !ok {
-				continue
-			}
-			if _, done := varKinds[l.Var]; done || conflict[l.Var] {
-				continue
-			}
-			if k := valExprKind(l.Expr, varKinds); k != types.KindNull {
-				varKinds[l.Var] = k
-				changed = true
+			switch f := f.(type) {
+			case *algebra.Lift:
+				if _, done := varKinds[f.Var]; done || conflict[f.Var] {
+					continue
+				}
+				if k := valExprKind(f.Expr, varKinds); k != types.KindNull {
+					varKinds[f.Var] = k
+					changed = true
+				}
+			case *algebra.Cmp:
+				if f.Op != algebra.CmpEq {
+					continue
+				}
+				lv, lok := f.L.(*algebra.VVar)
+				rv, rok := f.R.(*algebra.VVar)
+				if !lok || !rok || conflict[lv.Name] || conflict[rv.Name] {
+					continue
+				}
+				lk, rk := varKinds[lv.Name], varKinds[rv.Name]
+				if lk != types.KindNull && rk == types.KindNull {
+					varKinds[rv.Name] = lk
+					changed = true
+				} else if rk != types.KindNull && lk == types.KindNull {
+					varKinds[lv.Name] = rk
+					changed = true
+				}
 			}
 		}
 	}
@@ -144,8 +162,8 @@ func bodyValueKind(factors []algebra.Term, vars map[algebra.Var]types.Kind) type
 	kind := types.KindInt
 	for _, f := range factors {
 		switch f := f.(type) {
-		case *algebra.Rel, *algebra.Cmp, *algebra.Lift:
-			// multiplicity: integral
+		case *algebra.Rel, *algebra.Cmp, *algebra.Lift, *algebra.Exists:
+			// multiplicity or 0/1 indicator: integral
 		case *algebra.Val:
 			switch valExprKind(f.Expr, vars) {
 			case types.KindInt:

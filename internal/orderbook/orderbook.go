@@ -58,6 +58,24 @@ const (
 	// balanced (market-making) positions.
 	QueryBrokerNetBid = `select broker, sum(volume) from bids group by broker`
 	QueryBrokerNetAsk = `select broker, sum(volume) from asks group by broker`
+
+	// QueryBrokerAvgPrice maintains each broker's average resting bid
+	// price: an AVG aggregate, compiled as a sum/count component pair and
+	// NULL once a broker's book empties.
+	QueryBrokerAvgPrice = `select broker, avg(price) from bids group by broker`
+
+	// QueryTwoSidedVolume is the market-maker screen: bid volume resting
+	// with brokers that simultaneously quote the ask side. The correlated
+	// EXISTS decorrelates into a per-broker witness-count map over asks.
+	QueryTwoSidedVolume = `select sum(volume) from bids
+		where exists (select * from asks where asks.broker = bids.broker)`
+
+	// QueryBidAskSpreadCover pairs each resting bid with same-broker ask
+	// coverage through a LEFT OUTER JOIN: total bid volume counts every
+	// order, while count(asks.id) counts only bids whose broker also has
+	// resting asks — unmatched bids survive through the antijoin term.
+	QueryBidAskSpreadCover = `select sum(bids.volume), count(asks.id)
+		from bids left outer join asks on bids.broker = asks.broker`
 )
 
 // Order is one resting limit order.

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dbtoaster/internal/engine"
 	"dbtoaster/internal/schema"
 	"dbtoaster/internal/stream"
 	"dbtoaster/internal/types"
@@ -271,6 +272,116 @@ func TestServerShardedCheckpointRecover(t *testing.T) {
 	c.Close()
 
 	_, c2 := startDurable(t, sql, Options{WALDir: dir, Recover: true, Shards: 3})
+	_, gotRows, err := c2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("recovered rows %v, want %v", gotRows, wantRows)
+	}
+	for i := range wantRows {
+		if strings.Join(gotRows[i], "|") != strings.Join(wantRows[i], "|") {
+			t.Fatalf("recovered rows %v, want %v", gotRows, wantRows)
+		}
+	}
+}
+
+// TestServerRecoverAuxiliaryMaps runs the durability loop on a query
+// combining AVG (sum/count component pair) and a correlated EXISTS
+// (auxiliary witness-count maps): checkpoint, post-checkpoint tail with
+// deletes that move witness counts, crash, recover — then require the
+// recovered engine's full map state to be bitwise identical to the
+// pre-crash state (canonical snapshots compare byte for byte).
+func TestServerRecoverAuxiliaryMaps(t *testing.T) {
+	cat := schema.NewCatalog(
+		schema.NewRelation("R", "A:int", "B:int"),
+		schema.NewRelation("S", "B:int", "C:int"),
+	)
+	sql := "select B, avg(A) from R where exists (select * from S where S.B = R.B) group by B"
+	dir := t.TempDir()
+
+	s, err := NewWithOptions(sql, cat, Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The compiled program must actually carry auxiliary maps beyond the
+	// AVG result pair — that is what this test protects on recovery.
+	prog := s.queries["main"].toaster.Compiled().Program
+	if len(prog.MapOrder) < 3 {
+		t.Fatalf("expected AVG pair plus EXISTS witness maps, got maps %v", prog.MapOrder)
+	}
+
+	ins := func(rel string, vals ...int64) {
+		t.Helper()
+		tup := make([]types.Value, len(vals))
+		for i, v := range vals {
+			tup[i] = types.NewInt(v)
+		}
+		if err := c.Insert(rel, tup...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("R", 5, 1)
+	ins("R", 3, 1)
+	ins("R", 9, 2)
+	ins("S", 1, 10)
+	if _, _, err := c.Checkpoint(); err != nil {
+		t.Fatalf("CHECKPOINT: %v", err)
+	}
+	// Post-checkpoint tail, replayed from the log: witness arrives for
+	// group 2, then leaves again, and one AVG contributor is retracted.
+	ins("S", 2, 20)
+	if err := c.Batch([]stream.Event{
+		stream.Del("S", types.NewInt(2), types.NewInt(20)),
+		stream.Del("R", types.NewInt(3), types.NewInt(1)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, wantRows, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := s.queries["main"].toaster.(engine.Durable).StateSnapshot(&want, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	s2, err := NewWithOptions(sql, cat, Options{WALDir: dir, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	info, replayErrs := s2.Recovery()
+	if info == nil || replayErrs != 0 {
+		t.Fatalf("RecoveryInfo = %+v, replayErrs %d", info, replayErrs)
+	}
+	var got strings.Builder
+	if err := s2.queries["main"].toaster.(engine.Durable).StateSnapshot(&got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("recovered map state is not bitwise identical to pre-crash state\npre-crash %d bytes, recovered %d bytes", want.Len(), got.Len())
+	}
+	addr2, err := s2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
 	_, gotRows, err := c2.Result()
 	if err != nil {
 		t.Fatal(err)

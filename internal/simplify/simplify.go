@@ -393,6 +393,12 @@ func usedPositionally(fs []algebra.Term, x algebra.Var) bool {
 			if algebra.FreeVarSet(f)[x] {
 				return true
 			}
+		case *algebra.Exists, *algebra.ExistsDelta:
+			// Exists keys are map-lookup positions after materialization;
+			// substitution cannot descend into the opaque body either.
+			if algebra.FreeVarSet(f)[x] {
+				return true
+			}
 		case *algebra.Lift:
 			if f.Var == x {
 				return true

@@ -23,7 +23,7 @@ type Analyzed struct {
 // On success every ColumnRef in the tree has its resolution fields filled.
 func Analyze(stmt *SelectStmt, cat *schema.Catalog) (*Analyzed, error) {
 	a := &analyzer{cat: cat}
-	if err := a.selectStmt(stmt); err != nil {
+	if err := a.selectStmt(stmt, modeTop); err != nil {
 		return nil, err
 	}
 	res := &Analyzed{Stmt: stmt, Catalog: cat}
@@ -37,10 +37,35 @@ func Analyze(stmt *SelectStmt, cat *schema.Catalog) (*Analyzed, error) {
 	return res, nil
 }
 
+// queryMode records what role a SELECT plays: the standing query itself, a
+// scalar aggregate subquery, or the body of an EXISTS / IN predicate.
+type queryMode int
+
+const (
+	modeTop queryMode = iota
+	modeScalar
+	modeExists
+	modeIn
+)
+
+func (m queryMode) String() string {
+	switch m {
+	case modeScalar:
+		return "scalar subquery"
+	case modeExists:
+		return "EXISTS subquery"
+	case modeIn:
+		return "IN subquery"
+	default:
+		return "query"
+	}
+}
+
 // scope is one level of FROM bindings; inner subqueries see outer scopes.
 type scope struct {
 	stmt *SelectStmt
 	rels []*schema.Relation
+	mode queryMode
 }
 
 type analyzer struct {
@@ -48,11 +73,32 @@ type analyzer struct {
 	scopes []*scope
 }
 
-func (a *analyzer) selectStmt(stmt *SelectStmt) error {
+func (a *analyzer) curMode() queryMode {
+	if len(a.scopes) == 0 {
+		return modeTop
+	}
+	return a.scopes[len(a.scopes)-1].mode
+}
+
+func (a *analyzer) selectStmt(stmt *SelectStmt, mode queryMode) error {
 	if len(stmt.From) == 0 {
 		return fmt.Errorf("sql: query has no FROM clause")
 	}
-	sc := &scope{stmt: stmt}
+	if mode == modeExists || mode == modeIn {
+		if len(stmt.From) != 1 {
+			return fmt.Errorf("sql: %s supports exactly one FROM relation, got %d", mode, len(stmt.From))
+		}
+		if len(stmt.GroupBy) > 0 {
+			return fmt.Errorf("sql: GROUP BY is not supported in an %s", mode)
+		}
+		if stmt.Having != nil {
+			return fmt.Errorf("sql: HAVING is not supported in an %s", mode)
+		}
+		if len(stmt.Items) != 1 {
+			return fmt.Errorf("sql: %s must project exactly one item", mode)
+		}
+	}
+	sc := &scope{stmt: stmt, mode: mode}
 	seen := map[string]bool{}
 	for _, t := range stmt.From {
 		rel, ok := a.cat.Relation(t.Name)
@@ -69,6 +115,17 @@ func (a *analyzer) selectStmt(stmt *SelectStmt) error {
 	a.scopes = append(a.scopes, sc)
 	defer func() { a.scopes = a.scopes[:len(a.scopes)-1] }()
 
+	for i := range stmt.From {
+		if err := a.checkJoin(stmt, i); err != nil {
+			return err
+		}
+	}
+	hasLeftJoin := false
+	for _, t := range stmt.From {
+		if t.Join == JoinLeft {
+			hasLeftJoin = true
+		}
+	}
 	for _, g := range stmt.GroupBy {
 		if err := a.resolveColumn(g); err != nil {
 			return err
@@ -76,11 +133,28 @@ func (a *analyzer) selectStmt(stmt *SelectStmt) error {
 		if g.Outer > 0 {
 			return fmt.Errorf("sql: GROUP BY column %s must belong to this query's FROM", g)
 		}
+		if stmt.From[g.TableIdx].Join == JoinLeft {
+			return fmt.Errorf("sql: GROUP BY column %s comes from the nullable side of a LEFT OUTER JOIN, which is not supported", g)
+		}
 	}
 	for i := range stmt.Items {
 		it := &stmt.Items[i]
-		if err := a.expr(it.Expr, true); err != nil {
+		if it.Star {
+			if mode != modeExists {
+				return fmt.Errorf("sql: SELECT * is only supported inside EXISTS subqueries")
+			}
+			continue
+		}
+		if err := a.expr(it.Expr, mode != modeExists && mode != modeIn); err != nil {
 			return err
+		}
+		if e := findExistsIn(it.Expr); e != nil {
+			return fmt.Errorf("sql: %s is only supported in WHERE, not in the SELECT list", e)
+		}
+		if hasLeftJoin {
+			if f, ok := findMinMax(it.Expr); ok {
+				return fmt.Errorf("sql: %s with LEFT OUTER JOIN is not supported", f)
+			}
 		}
 		switch {
 		case containsAggregate(it.Expr):
@@ -89,6 +163,9 @@ func (a *analyzer) selectStmt(stmt *SelectStmt) error {
 			}
 		case !containsColumn(it.Expr):
 			// Pure constant item: always valid.
+		case mode == modeExists || mode == modeIn:
+			// The projection of an EXISTS/IN body needs no grouping: EXISTS
+			// ignores it, IN compares against it per row.
 		default:
 			// Non-aggregate item with columns must be a group-by column.
 			col, ok := it.Expr.(*ColumnRef)
@@ -114,6 +191,14 @@ func (a *analyzer) selectStmt(stmt *SelectStmt) error {
 		if err := a.expr(stmt.Having, true); err != nil {
 			return err
 		}
+		if e := findExistsIn(stmt.Having); e != nil {
+			return fmt.Errorf("sql: %s is only supported in WHERE, not in HAVING", e)
+		}
+		if hasLeftJoin {
+			if f, ok := findMinMax(stmt.Having); ok {
+				return fmt.Errorf("sql: %s with LEFT OUTER JOIN is not supported", f)
+			}
+		}
 		if err := checkNoBareColumns(stmt.Having, stmt); err != nil {
 			return err
 		}
@@ -122,6 +207,95 @@ func (a *analyzer) selectStmt(stmt *SelectStmt) error {
 		}
 	}
 	return nil
+}
+
+// checkJoin validates the ON condition of FROM entry i: boolean, free of
+// aggregates and subqueries, and referencing only tables joined so far.
+func (a *analyzer) checkJoin(stmt *SelectStmt, i int) error {
+	t := stmt.From[i]
+	if t.Join == JoinNone {
+		if t.On != nil {
+			return fmt.Errorf("sql: ON condition without a JOIN on %s", t.Binding())
+		}
+		return nil
+	}
+	if i == 0 {
+		return fmt.Errorf("sql: first FROM entry %s cannot be a JOIN target", t.Binding())
+	}
+	if err := a.expr(t.On, false); err != nil {
+		return err
+	}
+	if containsAggregate(t.On) {
+		return fmt.Errorf("sql: aggregates are not allowed in the ON condition of %s", t.Binding())
+	}
+	if e := findSubquery(t.On); e != nil {
+		return fmt.Errorf("sql: subqueries are not allowed in ON conditions (found %s)", e)
+	}
+	if k := a.typeOf(t.On); k != types.KindBool {
+		return fmt.Errorf("sql: ON condition of %s has type %s, want bool", t.Binding(), k)
+	}
+	var bad *ColumnRef
+	walkExpr(t.On, func(e Expr) bool {
+		c, ok := e.(*ColumnRef)
+		if !ok {
+			return true
+		}
+		if c.Outer > 0 || c.TableIdx > i {
+			if bad == nil {
+				bad = c
+			}
+		}
+		return true
+	})
+	if bad != nil {
+		return fmt.Errorf("sql: ON condition of %s references %s, which is not among the tables joined so far", t.Binding(), bad)
+	}
+	return nil
+}
+
+// findExistsIn returns the first EXISTS/IN predicate in e, if any.
+func findExistsIn(e Expr) Expr {
+	var found Expr
+	walkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ExistsExpr, *InExpr:
+			if found == nil {
+				found = x
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// findSubquery returns the first subquery node of any flavor in e.
+func findSubquery(e Expr) Expr {
+	var found Expr
+	walkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ExistsExpr, *InExpr, *SubqueryExpr:
+			if found == nil {
+				found = x
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// findMinMax returns the first MIN/MAX aggregate in e.
+func findMinMax(e Expr) (AggFunc, bool) {
+	var f AggFunc
+	found := false
+	walkExpr(e, func(x Expr) bool {
+		if a, ok := x.(*AggExpr); ok && (a.Func == AggMin || a.Func == AggMax) && !found {
+			f, found = a.Func, true
+		}
+		return true
+	})
+	return f, found
 }
 
 func (a *analyzer) inGroupBy(stmt *SelectStmt, col *ColumnRef) bool {
@@ -204,11 +378,38 @@ func (a *analyzer) expr(e Expr, allowAgg bool) error {
 		}
 		return nil
 	case *SubqueryExpr:
-		if err := a.selectStmt(e.Query); err != nil {
+		if m := a.curMode(); m == modeExists || m == modeIn {
+			return fmt.Errorf("sql: nested subqueries inside an %s are not supported", m)
+		}
+		if err := a.selectStmt(e.Query, modeScalar); err != nil {
 			return err
 		}
 		if len(e.Query.Items) != 1 || len(e.Query.GroupBy) != 0 || !containsAggregate(e.Query.Items[0].Expr) {
 			return fmt.Errorf("sql: subquery must be a single-aggregate scalar query: %s", e.Query)
+		}
+		return nil
+	case *ExistsExpr:
+		if m := a.curMode(); m == modeExists || m == modeIn {
+			return fmt.Errorf("sql: nested subqueries inside an %s are not supported", m)
+		}
+		return a.selectStmt(e.Query, modeExists)
+	case *InExpr:
+		if m := a.curMode(); m == modeExists || m == modeIn {
+			return fmt.Errorf("sql: nested subqueries inside an %s are not supported", m)
+		}
+		if err := a.expr(e.Needle, false); err != nil {
+			return err
+		}
+		if containsAggregate(e.Needle) {
+			return fmt.Errorf("sql: aggregate on the left of IN is not supported: %s", e)
+		}
+		if err := a.selectStmt(e.Query, modeIn); err != nil {
+			return err
+		}
+		nk, ik := a.typeOf(e.Needle), TypeOf(e.Query.Items[0].Expr)
+		comparable := nk == ik || (nk.Numeric() && ik.Numeric())
+		if !comparable {
+			return fmt.Errorf("sql: cannot compare %s with %s in %s", nk, ik, e)
 		}
 		return nil
 	}
@@ -320,6 +521,8 @@ func TypeOf(e Expr) types.Kind {
 		}
 	case *SubqueryExpr:
 		return TypeOf(e.Query.Items[0].Expr)
+	case *ExistsExpr, *InExpr:
+		return types.KindBool
 	}
 	return types.KindNull
 }
@@ -335,6 +538,9 @@ func containsColumn(e Expr) bool {
 		return containsColumn(e.X)
 	case *AggExpr:
 		return e.Star || containsColumn(e.Arg)
+	case *ExistsExpr, *InExpr:
+		// A predicate subquery depends on base data like a column does.
+		return true
 	default:
 		return false
 	}
@@ -348,6 +554,8 @@ func containsAggregate(e Expr) bool {
 		return containsAggregate(e.L) || containsAggregate(e.R)
 	case *UnaryExpr:
 		return containsAggregate(e.X)
+	case *InExpr:
+		return containsAggregate(e.Needle)
 	default:
 		return false
 	}

@@ -16,16 +16,34 @@ type SelectStmt struct {
 	Having  Expr // nil when absent; only valid with GROUP BY
 }
 
-// SelectItem is one projection in the SELECT list.
+// SelectItem is one projection in the SELECT list. Star (SELECT *) is only
+// valid inside EXISTS subqueries, where the projection is irrelevant.
 type SelectItem struct {
 	Expr  Expr
 	Alias string // "" when no AS clause
+	Star  bool   // SELECT *; Expr is nil
 }
 
-// TableRef names a base relation in FROM, optionally aliased.
+// JoinType classifies how a FROM entry combines with the preceding ones.
+type JoinType int
+
+// Join types. The FROM list is a left-deep chain: entry i with JoinInner or
+// JoinLeft joins table i against the join of entries 0..i-1 using its On
+// condition; JoinNone is a plain comma (cross) item.
+const (
+	JoinNone JoinType = iota
+	JoinInner
+	JoinLeft
+)
+
+// TableRef names a base relation in FROM, optionally aliased, with the join
+// type and ON condition linking it to the tables before it.
 type TableRef struct {
 	Name  string
 	Alias string // defaults to Name during analysis
+
+	Join JoinType
+	On   Expr // non-nil iff Join != JoinNone
 }
 
 // Binding returns the name the table is referred to by in the query.
@@ -86,6 +104,19 @@ type AggExpr struct {
 // SubqueryExpr is a scalar subquery (must be a single-aggregate query).
 type SubqueryExpr struct{ Query *SelectStmt }
 
+// ExistsExpr is an EXISTS (SELECT ...) predicate. NOT EXISTS parses as
+// UnaryExpr{OpNot, ExistsExpr}.
+type ExistsExpr struct{ Query *SelectStmt }
+
+// InExpr is a membership predicate over a subquery's single projected
+// column: Needle IN (SELECT col FROM ...). NOT IN parses as
+// UnaryExpr{OpNot, InExpr}; value lists (x IN (1,2,3)) are desugared to
+// equality disjunctions by the parser and never reach the AST.
+type InExpr struct {
+	Needle Expr
+	Query  *SelectStmt
+}
+
 func (*ColumnRef) exprNode()    {}
 func (*NumberLit) exprNode()    {}
 func (*StringLit) exprNode()    {}
@@ -94,6 +125,8 @@ func (*BinaryExpr) exprNode()   {}
 func (*UnaryExpr) exprNode()    {}
 func (*AggExpr) exprNode()      {}
 func (*SubqueryExpr) exprNode() {}
+func (*ExistsExpr) exprNode()   {}
+func (*InExpr) exprNode()       {}
 
 // BinOp enumerates binary operators.
 type BinOp int
@@ -205,6 +238,12 @@ func (a *AggExpr) String() string {
 
 func (s *SubqueryExpr) String() string { return "(" + s.Query.String() + ")" }
 
+func (e *ExistsExpr) String() string { return "EXISTS (" + e.Query.String() + ")" }
+
+func (e *InExpr) String() string {
+	return fmt.Sprintf("%s IN (%s)", e.Needle, e.Query)
+}
+
 // String renders the statement back to SQL (normalized spacing).
 func (s *SelectStmt) String() string {
 	var b strings.Builder
@@ -212,6 +251,10 @@ func (s *SelectStmt) String() string {
 	for i, it := range s.Items {
 		if i > 0 {
 			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
 		}
 		b.WriteString(it.Expr.String())
 		if it.Alias != "" {
@@ -221,11 +264,21 @@ func (s *SelectStmt) String() string {
 	b.WriteString(" FROM ")
 	for i, t := range s.From {
 		if i > 0 {
-			b.WriteString(", ")
+			switch t.Join {
+			case JoinInner:
+				b.WriteString(" JOIN ")
+			case JoinLeft:
+				b.WriteString(" LEFT OUTER JOIN ")
+			default:
+				b.WriteString(", ")
+			}
 		}
 		b.WriteString(t.Name)
 		if t.Alias != "" && t.Alias != t.Name {
 			b.WriteString(" " + t.Alias)
+		}
+		if t.On != nil {
+			b.WriteString(" ON " + t.On.String())
 		}
 	}
 	if s.Where != nil {
@@ -253,6 +306,11 @@ func (s *SelectStmt) WalkExprs(fn func(Expr) bool) {
 	for _, it := range s.Items {
 		walkExpr(it.Expr, fn)
 	}
+	for _, t := range s.From {
+		if t.On != nil {
+			walkExpr(t.On, fn)
+		}
+	}
 	if s.Where != nil {
 		walkExpr(s.Where, fn)
 	}
@@ -276,5 +334,9 @@ func walkExpr(e Expr, fn func(Expr) bool) {
 		walkExpr(e.X, fn)
 	case *AggExpr:
 		walkExpr(e.Arg, fn)
+	case *InExpr:
+		// The needle belongs to the enclosing query; the subquery is not
+		// recursed into (same convention as SubqueryExpr).
+		walkExpr(e.Needle, fn)
 	}
 }

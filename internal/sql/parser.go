@@ -68,6 +68,9 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 		return nil, err
 	}
 	stmt := &SelectStmt{}
+	if p.cur().Kind == TokKeyword && p.cur().Text == "DISTINCT" {
+		return nil, errf(p.cur().Pos, "DISTINCT is not supported for standing queries")
+	}
 	for {
 		item, err := p.parseSelectItem()
 		if err != nil {
@@ -82,16 +85,66 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = append(stmt.From, ref)
 	for {
+		if p.cur().Kind == TokComma {
+			p.pos++
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			continue
+		}
+		jt := JoinNone
+		switch {
+		case p.cur().Kind == TokKeyword && (p.cur().Text == "RIGHT" || p.cur().Text == "FULL"):
+			return nil, errf(p.cur().Pos, "%s OUTER JOIN is not supported; only INNER and LEFT OUTER joins", p.cur().Text)
+		case p.acceptKeyword("CROSS"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			// CROSS JOIN is a comma join.
+			stmt.From = append(stmt.From, ref)
+			continue
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			jt = JoinLeft
+		case p.acceptKeyword("INNER"):
+			jt = JoinInner
+		case p.cur().Kind == TokKeyword && p.cur().Text == "JOIN":
+			jt = JoinInner
+		default:
+			// No more FROM entries.
+		}
+		if jt == JoinNone {
+			break
+		}
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
 		ref, err := p.parseTableRef()
 		if err != nil {
 			return nil, err
 		}
-		stmt.From = append(stmt.From, ref)
-		if p.cur().Kind != TokComma {
-			break
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
 		}
-		p.pos++
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ref.Join = jt
+		ref.On = on
+		stmt.From = append(stmt.From, ref)
 	}
 	if p.acceptKeyword("WHERE") {
 		w, err := p.parseExpr()
@@ -139,6 +192,10 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 }
 
 func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.cur().Kind == TokStar {
+		p.pos++
+		return SelectItem{Star: true}, nil
+	}
 	e, err := p.parseExpr()
 	if err != nil {
 		return SelectItem{}, err
@@ -234,6 +291,16 @@ func (p *Parser) parseCmp() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Postfix membership: x IN (...) and x NOT IN (...).
+	if p.cur().Kind == TokKeyword && p.cur().Text == "IN" {
+		p.pos++
+		return p.parseInTail(l, false)
+	}
+	if p.cur().Kind == TokKeyword && p.cur().Text == "NOT" &&
+		p.toks[p.pos+1].Kind == TokKeyword && p.toks[p.pos+1].Text == "IN" {
+		p.pos += 2
+		return p.parseInTail(l, true)
+	}
 	var op BinOp
 	switch p.cur().Kind {
 	case TokEq:
@@ -257,6 +324,72 @@ func (p *Parser) parseCmp() (Expr, error) {
 		return nil, err
 	}
 	return &BinaryExpr{Op: op, L: l, R: r}, nil
+}
+
+// parseInTail parses the parenthesized right side of IN / NOT IN: either a
+// subquery, producing an InExpr, or a literal value list, desugared to a
+// disjunction of equalities.
+func (p *Parser) parseInTail(needle Expr, negate bool) (Expr, error) {
+	lp, err := p.expect(TokLParen)
+	if err != nil {
+		return nil, err
+	}
+	var out Expr
+	if p.cur().Kind == TokKeyword && p.cur().Text == "SELECT" {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		out = &InExpr{Needle: needle, Query: sub}
+	} else {
+		if p.cur().Kind == TokRParen {
+			return nil, errf(lp.Pos, "empty IN value list")
+		}
+		for {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			eq := Expr(&BinaryExpr{Op: OpEq, L: needle, R: v})
+			if out == nil {
+				out = eq
+			} else {
+				out = &BinaryExpr{Op: OpOr, L: out, R: eq}
+			}
+			if p.cur().Kind != TokComma {
+				break
+			}
+			p.pos++
+		}
+		if out == nil {
+			return nil, errf(lp.Pos, "empty IN value list")
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if negate {
+		return &UnaryExpr{Op: OpNot, X: out}, nil
+	}
+	return out, nil
+}
+
+// parseSubquery parses a parenthesized SELECT.
+func (p *Parser) parseSubquery() (*SelectStmt, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return sub, nil
 }
 
 func (p *Parser) parseAdd() (Expr, error) {
@@ -342,6 +475,13 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			return &BoolLit{Value: false}, nil
 		case "SUM", "COUNT", "AVG", "MIN", "MAX":
 			return p.parseAggregate()
+		case "EXISTS":
+			p.pos++
+			sub, err := p.parseSubquery()
+			if err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Query: sub}, nil
 		}
 		return nil, errf(t.Pos, "unexpected keyword %s in expression", t.Text)
 	case TokIdent:

@@ -71,6 +71,8 @@ var keywords = map[string]bool{
 	"TEXT": true, "BOOL": true, "BOOLEAN": true,
 	"TRUE": true, "FALSE": true, "NULL": true,
 	"HAVING": true, "DISTINCT": true, "ORDER": true, "LIMIT": true,
+	"EXISTS": true, "IN": true, "JOIN": true, "ON": true, "LEFT": true,
+	"OUTER": true, "INNER": true, "RIGHT": true, "FULL": true, "CROSS": true,
 }
 
 // Error is a front-end error carrying the byte offset where it occurred.

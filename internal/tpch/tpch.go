@@ -91,6 +91,14 @@ const (
 		from lineorder lo, dates d
 		where lo.orderdate = d.datekey
 		group by d.year`
+
+	// QueryDimCoverage audits referential integrity during the load
+	// through a LEFT OUTER JOIN: sum(lo.revenue) counts every fact row
+	// immediately, while count(d.datekey) counts only facts whose date
+	// dimension row has arrived — the gap is the load's outstanding
+	// dimension debt, maintained via the antijoin correction term.
+	QueryDimCoverage = `select sum(lo.revenue), count(d.datekey)
+		from lineorder lo left outer join dates d on lo.orderdate = d.datekey`
 )
 
 // Generator produces the dimension-then-facts event stream.

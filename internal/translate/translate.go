@@ -146,13 +146,44 @@ func (*RCmp) rexpr()   {}
 func (*RLogic) rexpr() {}
 func (*RNot) rexpr()   {}
 
+// branch is one disjunct of the FROM clause after LEFT OUTER JOIN
+// expansion. Each LEFT join splits every existing branch in two: a matched
+// half containing the right-hand atom and its ON condition, and an
+// unmatched half containing a negated Exists factor (the antijoin) instead.
+// present records which FROM entries contribute rows to the branch; columns
+// of absent entries are NULL, and the branch's copies of WHERE and later ON
+// factors have those variables replaced by NULL constants.
+type branch struct {
+	factors []algebra.Term
+	present map[int]bool
+}
+
+func (b branch) clone() branch {
+	nb := branch{
+		factors: append([]algebra.Term{}, b.factors...),
+		present: make(map[int]bool, len(b.present)),
+	}
+	for i := range b.present {
+		nb.present[i] = true
+	}
+	return nb
+}
+
+// subScope is set while lowering the body of an EXISTS/IN subquery: column
+// references with Outer == 0 resolve to the subquery relation's fresh
+// variables, and Outer counts shift down by one for the enclosing query.
+type subScope struct {
+	vars []algebra.Var // per column of the subquery's single relation
+}
+
 // translator carries per-query state.
 type translator struct {
-	q           *Query
-	a           *sql.Analyzed
-	subN        *int // shared fresh-variable counter across nesting
-	liftN       int
-	joinFactors []algebra.Term
+	q        *Query
+	a        *sql.Analyzed
+	subN     *int // shared fresh-variable counter across nesting
+	liftN    int
+	branches []branch
+	sub      *subScope // non-nil while inside an EXISTS/IN body
 }
 
 // Translate lowers an analyzed statement into its algebraic form. name is
@@ -184,7 +215,16 @@ func varName(binding, col string) algebra.Var {
 }
 
 func (t *translator) colVar(c *sql.ColumnRef) (algebra.Var, error) {
-	if c.Outer > 0 {
+	outer := c.Outer
+	if t.sub != nil {
+		if outer == 0 {
+			return t.sub.vars[c.ColIdx], nil
+		}
+		// One level up from the EXISTS/IN body is this translator's own
+		// scope; anything deeper is rejected below.
+		outer--
+	}
+	if outer > 0 {
 		return "", fmt.Errorf("translate: correlated subqueries are not supported by the core compiler (column %s)", c)
 	}
 	binding := t.a.Stmt.From[c.TableIdx].Binding()
@@ -215,26 +255,65 @@ func (t *translator) run() error {
 	}
 
 	// Join atoms: one Rel per FROM entry, with per-binding variables.
-	var joinFactors []algebra.Term
+	// LEFT OUTER JOINs expand the single join product into a branch list:
+	// inner join plus an antijoin correction term per LEFT entry.
+	branches := []branch{{present: map[int]bool{}}}
 	for i, ref := range stmt.From {
 		rel := t.a.Relations[i]
 		vars := make([]algebra.Var, rel.Arity())
 		for j, col := range rel.Columns {
 			vars[j] = varName(ref.Binding(), col.Name)
 		}
-		joinFactors = append(joinFactors, algebra.NewRel(rel.Name, vars...))
+		atom := algebra.NewRel(rel.Name, vars...)
+		var onFs []algebra.Term
+		if ref.On != nil {
+			fs, err := t.condFactors(ref.On)
+			if err != nil {
+				return err
+			}
+			onFs = fs
+		}
+		if ref.Join != sql.JoinLeft {
+			// Comma and INNER JOIN extend every branch in place.
+			for bi := range branches {
+				b := &branches[bi]
+				b.present[i] = true
+				b.factors = append(b.factors, atom)
+				b.factors = append(b.factors, t.substNullFactors(onFs, t.absentVars(*b))...)
+			}
+			continue
+		}
+		next := make([]branch, 0, 2*len(branches))
+		for _, b := range branches {
+			inner := b.clone()
+			inner.present[i] = true
+			inner.factors = append(inner.factors, atom)
+			inner.factors = append(inner.factors, t.substNullFactors(onFs, t.absentVars(inner))...)
+			anti := b.clone()
+			neg, err := t.antiFactor(rel, vars, onFs, b)
+			if err != nil {
+				return err
+			}
+			anti.factors = append(anti.factors, neg)
+			next = append(next, inner, anti)
+		}
+		branches = next
 	}
 
-	// WHERE indicator factors.
+	// WHERE indicator factors, appended per branch with NULL substituted
+	// for columns of tables the branch dropped.
 	if stmt.Where != nil {
 		fs, err := t.condFactors(stmt.Where)
 		if err != nil {
 			return err
 		}
-		joinFactors = append(joinFactors, fs...)
+		for bi := range branches {
+			b := &branches[bi]
+			b.factors = append(b.factors, t.substNullFactors(fs, t.absentVars(*b))...)
+		}
 	}
 
-	t.joinFactors = joinFactors
+	t.branches = branches
 
 	// Implicit existence COUNT(*): needed whenever the query groups
 	// (deciding which groups exist requires the support count); COUNT and
@@ -334,25 +413,229 @@ func (t *translator) boolExpr(e sql.Expr) (RExpr, error) {
 	return nil, fmt.Errorf("translate: unsupported HAVING expression %s", e)
 }
 
+// absentVars collects the algebra variables of every FROM entry the branch
+// does not contain; references to them stand for NULL.
+func (t *translator) absentVars(b branch) map[algebra.Var]bool {
+	if len(b.present) == len(t.a.Stmt.From) {
+		return nil
+	}
+	absent := map[algebra.Var]bool{}
+	for i, ref := range t.a.Stmt.From {
+		if b.present[i] {
+			continue
+		}
+		for _, col := range t.a.Relations[i].Columns {
+			absent[varName(ref.Binding(), col.Name)] = true
+		}
+	}
+	return absent
+}
+
+// substNullFactors rewrites each factor with NULL in place of absent
+// variables. With nothing absent the input is returned unchanged.
+func (t *translator) substNullFactors(fs []algebra.Term, absent map[algebra.Var]bool) []algebra.Term {
+	if len(absent) == 0 || len(fs) == 0 {
+		return fs
+	}
+	out := make([]algebra.Term, len(fs))
+	for i, f := range fs {
+		out[i] = substNullTerm(f, absent)
+	}
+	return out
+}
+
+// substNullTerm replaces free occurrences of absent variables by the NULL
+// constant. Comparisons against NULL then evaluate to false (except
+// NULL = NULL, which the ring's null-safe equality makes true — a
+// documented deviation from SQL's three-valued logic). An Exists factor
+// whose keys include an absent variable can never find a witness, so it
+// collapses to zero.
+func substNullTerm(f algebra.Term, absent map[algebra.Var]bool) algebra.Term {
+	switch f := f.(type) {
+	case *algebra.Val:
+		return &algebra.Val{Expr: substNullVal(f.Expr, absent)}
+	case *algebra.Cmp:
+		return &algebra.Cmp{Op: f.Op, L: substNullVal(f.L, absent), R: substNullVal(f.R, absent)}
+	case *algebra.Sum:
+		ts := make([]algebra.Term, len(f.Terms))
+		for i, x := range f.Terms {
+			ts[i] = substNullTerm(x, absent)
+		}
+		return algebra.NewSum(ts...)
+	case *algebra.Prod:
+		fs := make([]algebra.Term, len(f.Factors))
+		for i, x := range f.Factors {
+			fs[i] = substNullTerm(x, absent)
+		}
+		return algebra.NewProd(fs...)
+	case *algebra.Lift:
+		return &algebra.Lift{Var: f.Var, Expr: substNullVal(f.Expr, absent)}
+	case *algebra.Exists:
+		for _, k := range f.Keys {
+			if absent[k] {
+				return algebra.Zero()
+			}
+		}
+		return f
+	}
+	return f
+}
+
+func substNullVal(v algebra.ValExpr, absent map[algebra.Var]bool) algebra.ValExpr {
+	switch v := v.(type) {
+	case *algebra.VVar:
+		if absent[v.Name] {
+			return &algebra.VConst{Value: types.Null}
+		}
+		return v
+	case *algebra.VArith:
+		return &algebra.VArith{Op: v.Op, L: substNullVal(v.L, absent), R: substNullVal(v.R, absent)}
+	}
+	return v
+}
+
+// antiFactor builds the unmatched-side indicator of a LEFT OUTER JOIN:
+// 1 − EXISTS(right atom × ON), with the right relation's columns renamed to
+// fresh interior variables so the Exists binds only the left-side join
+// keys. When the ON condition references a table already absent from the
+// branch it can never hold, the Exists is vacuously zero, and the factor
+// degenerates to 1.
+func (t *translator) antiFactor(rel *schema.Relation, vars []algebra.Var, onFs []algebra.Term, b branch) (algebra.Term, error) {
+	absent := t.absentVars(b)
+	for _, f := range onFs {
+		for _, v := range algebra.FreeVars(f) {
+			if absent[v] {
+				return algebra.One(), nil
+			}
+		}
+	}
+	*t.subN++
+	ren := map[algebra.Var]algebra.Var{}
+	fresh := make([]algebra.Var, len(vars))
+	for j, col := range rel.Columns {
+		fresh[j] = algebra.Var(fmt.Sprintf("x%d_%s", *t.subN, strings.ToLower(col.Name)))
+		ren[vars[j]] = fresh[j]
+	}
+	body := []algebra.Term{algebra.NewRel(rel.Name, fresh...)}
+	for _, f := range onFs {
+		body = append(body, algebra.Rename(f, ren))
+	}
+	prod := algebra.NewProd(body...)
+	interior := map[algebra.Var]bool{}
+	for _, v := range fresh {
+		interior[v] = true
+	}
+	var keys []algebra.Var
+	for _, v := range algebra.FreeVars(prod) {
+		if !interior[v] {
+			keys = append(keys, v)
+		}
+	}
+	ex := &algebra.Exists{Keys: keys, Body: prod}
+	return algebra.NewSum(algebra.One(), algebra.NewProd(algebra.ConstVal(types.NewInt(-1)), ex)), nil
+}
+
 // ensureExists creates the COUNT(*) component on first use.
 func (t *translator) ensureExists() int {
 	if t.q.ExistsIdx < 0 {
 		t.q.ExistsIdx = t.addComponent(Component{
 			Kind: CompCount,
-			Term: t.aggTerm(t.q.GroupVars, t.joinFactors, nil),
+			Term: t.branchTerm(t.q.GroupVars, nil, nil),
 		})
 	}
 	return t.q.ExistsIdx
 }
 
-// aggTerm builds AggSum(groupVars, Prod(factors..., extra...)).
-func (t *translator) aggTerm(groupVars []algebra.Var, factors []algebra.Term, extra []algebra.Term) *algebra.AggSum {
-	fs := make([]algebra.Term, 0, len(factors)+len(extra))
-	fs = append(fs, factors...)
-	fs = append(fs, extra...)
+// branchTerm builds AggSum(groupVars, Σ branches × extra...), keeping only
+// branches that contain every FROM entry in tables. An aggregate argument
+// reading a dropped table's columns is NULL on that branch, and SQL
+// aggregates skip NULL inputs, so those branches contribute nothing.
+// Passing nil tables keeps every branch (COUNT(*) semantics).
+func (t *translator) branchTerm(groupVars []algebra.Var, tables map[int]bool, extra []algebra.Term) *algebra.AggSum {
+	var parts []algebra.Term
+	for _, b := range t.branches {
+		keep := true
+		for i := range tables {
+			if !b.present[i] {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		fs := make([]algebra.Term, 0, len(b.factors)+len(extra))
+		fs = append(fs, b.factors...)
+		fs = append(fs, extra...)
+		parts = append(parts, algebra.NewProd(fs...))
+	}
 	gv := make([]algebra.Var, len(groupVars))
 	copy(gv, groupVars)
-	return &algebra.AggSum{GroupVars: gv, Body: algebra.NewProd(fs...)}
+	var body algebra.Term
+	switch len(parts) {
+	case 0:
+		// Unreachable in practice: the all-present branch survives every
+		// filter. Kept total for safety.
+		body = algebra.Zero()
+	case 1:
+		body = parts[0]
+	default:
+		body = algebra.NewSum(parts...)
+	}
+	return &algebra.AggSum{GroupVars: gv, Body: body}
+}
+
+// exprTables collects the FROM entries whose columns e reads (in this
+// query's scope). Subqueries are not entered: scalar subqueries in
+// aggregate arguments are uncorrelated, so they read no outer columns.
+func exprTables(e sql.Expr) map[int]bool {
+	tables := map[int]bool{}
+	var walk func(sql.Expr)
+	walk = func(e sql.Expr) {
+		switch e := e.(type) {
+		case *sql.ColumnRef:
+			if e.Outer == 0 {
+				tables[e.TableIdx] = true
+			}
+		case *sql.BinaryExpr:
+			walk(e.L)
+			walk(e.R)
+		case *sql.UnaryExpr:
+			walk(e.X)
+		case *sql.AggExpr:
+			if e.Arg != nil {
+				walk(e.Arg)
+			}
+		case *sql.InExpr:
+			walk(e.Needle)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return tables
+}
+
+// countComp returns the component index counting rows where the columns of
+// tables are non-NULL: the plain COUNT(*) when every branch qualifies,
+// otherwise a branch-filtered count (COUNT(expr) and AVG denominators over
+// a LEFT join's nullable side).
+func (t *translator) countComp(tables map[int]bool) int {
+	filtered := false
+	for _, b := range t.branches {
+		for i := range tables {
+			if !b.present[i] {
+				filtered = true
+			}
+		}
+	}
+	if !filtered {
+		return t.ensureExists()
+	}
+	return t.addComponent(Component{
+		Kind: CompCount,
+		Term: t.branchTerm(t.q.GroupVars, tables, nil),
+	})
 }
 
 // addComponent appends c, reusing an existing structurally-identical
@@ -437,9 +720,13 @@ func (t *translator) itemExpr(e sql.Expr) (RExpr, error) {
 func (t *translator) aggItem(e *sql.AggExpr) (RExpr, error) {
 	switch e.Func {
 	case sql.AggCount:
-		// COUNT(expr) is treated as COUNT(*): the algebra has no NULLs in
-		// base data, so the two coincide for our workloads.
-		return &RComp{Idx: t.ensureExists()}, nil
+		// Base data has no NULLs, so COUNT(expr) only diverges from
+		// COUNT(*) when expr reads a LEFT join's nullable side; countComp
+		// handles both.
+		if e.Star || e.Arg == nil {
+			return &RComp{Idx: t.ensureExists()}, nil
+		}
+		return &RComp{Idx: t.countComp(exprTables(e.Arg))}, nil
 	case sql.AggSum:
 		arg, err := t.valExpr(e.Arg)
 		if err != nil {
@@ -447,19 +734,22 @@ func (t *translator) aggItem(e *sql.AggExpr) (RExpr, error) {
 		}
 		idx := t.addComponent(Component{
 			Kind: CompSum,
-			Term: t.aggTerm(t.q.GroupVars, t.joinFactors, []algebra.Term{&algebra.Val{Expr: arg}}),
+			Term: t.branchTerm(t.q.GroupVars, exprTables(e.Arg), []algebra.Term{&algebra.Val{Expr: arg}}),
 		})
 		return &RComp{Idx: idx}, nil
 	case sql.AggAvg:
+		// AVG compiles as a SUM/COUNT component pair; the denominator
+		// counts rows where the argument is non-NULL, so the division
+		// yields NULL (x/0) on empty groups.
 		arg, err := t.valExpr(e.Arg)
 		if err != nil {
 			return nil, err
 		}
 		sumIdx := t.addComponent(Component{
 			Kind: CompSum,
-			Term: t.aggTerm(t.q.GroupVars, t.joinFactors, []algebra.Term{&algebra.Val{Expr: arg}}),
+			Term: t.branchTerm(t.q.GroupVars, exprTables(e.Arg), []algebra.Term{&algebra.Val{Expr: arg}}),
 		})
-		return &RArith{Op: '/', L: &RComp{Idx: sumIdx}, R: &RComp{Idx: t.ensureExists()}}, nil
+		return &RArith{Op: '/', L: &RComp{Idx: sumIdx}, R: &RComp{Idx: t.countComp(exprTables(e.Arg))}}, nil
 	case sql.AggMin, sql.AggMax:
 		arg, err := t.valExpr(e.Arg)
 		if err != nil {
@@ -474,7 +764,7 @@ func (t *translator) aggItem(e *sql.AggExpr) (RExpr, error) {
 		gv := append(append([]algebra.Var{}, t.q.GroupVars...), ext)
 		idx := t.addComponent(Component{
 			Kind:   kind,
-			Term:   t.aggTerm(gv, t.joinFactors, []algebra.Term{&algebra.Lift{Var: ext, Expr: arg}}),
+			Term:   t.branchTerm(gv, exprTables(e.Arg), []algebra.Term{&algebra.Lift{Var: ext, Expr: arg}}),
 			ExtVar: ext,
 		})
 		return &RComp{Idx: idx}, nil
@@ -666,26 +956,78 @@ func (t *translator) condTerm(e sql.Expr) (algebra.Term, error) {
 			return &algebra.Cmp{Op: op, L: l, R: r}, nil
 		}
 		return nil, fmt.Errorf("translate: unsupported boolean operator %s", e.Op)
+	case *sql.ExistsExpr:
+		return t.existsTerm(e.Query, nil)
+	case *sql.InExpr:
+		// The needle belongs to the enclosing scope: lower it before
+		// entering the subquery.
+		needle, err := t.valExpr(e.Needle)
+		if err != nil {
+			return nil, err
+		}
+		return t.existsTerm(e.Query, needle)
 	}
 	return nil, fmt.Errorf("translate: unsupported boolean expression %s", e)
 }
 
+// existsTerm lowers an EXISTS or IN subquery (analyzer-checked: exactly one
+// relation, no grouping, no nesting) into a 0/1 Exists indicator. The
+// subquery relation's columns become fresh interior variables; free
+// variables of the body — outer columns referenced by correlation, plus the
+// IN needle's columns — become the indicator's keys, along which the
+// compiler materializes the witness-count map. needle, when non-nil, is
+// equated with the subquery's single projected expression (IN membership).
+func (t *translator) existsTerm(sub *sql.SelectStmt, needle algebra.ValExpr) (algebra.Term, error) {
+	if t.sub != nil {
+		return nil, fmt.Errorf("translate: nested EXISTS/IN subqueries are not supported")
+	}
+	ref := sub.From[0]
+	rel, ok := t.a.Catalog.Relation(ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("translate: unknown relation %s in subquery", ref.Name)
+	}
+	*t.subN++
+	fresh := make([]algebra.Var, rel.Arity())
+	for j, col := range rel.Columns {
+		fresh[j] = algebra.Var(fmt.Sprintf("x%d_%s", *t.subN, strings.ToLower(col.Name)))
+	}
+	body := []algebra.Term{algebra.NewRel(rel.Name, fresh...)}
+	t.sub = &subScope{vars: fresh}
+	defer func() { t.sub = nil }()
+	if sub.Where != nil {
+		fs, err := t.condFactors(sub.Where)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, fs...)
+	}
+	if needle != nil {
+		item, err := t.valExpr(sub.Items[0].Expr)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, &algebra.Cmp{Op: algebra.CmpEq, L: item, R: needle})
+	}
+	prod := algebra.NewProd(body...)
+	interior := map[algebra.Var]bool{}
+	for _, v := range fresh {
+		interior[v] = true
+	}
+	var keys []algebra.Var
+	for _, v := range algebra.FreeVars(prod) {
+		if !interior[v] {
+			keys = append(keys, v)
+		}
+	}
+	return &algebra.Exists{Keys: keys, Body: prod}, nil
+}
+
 // correlated reports whether the subquery references enclosing scopes.
+// EXISTS/IN subqueries nested inside it may reference the subquery's own
+// scope (depth 1 from their point of view) — only deeper references make
+// the subquery itself correlated.
 func correlated(stmt *sql.SelectStmt) bool {
-	found := false
-	stmt.WalkExprs(func(e sql.Expr) bool {
-		if c, ok := e.(*sql.ColumnRef); ok && c.Outer > 0 {
-			found = true
-		}
-		if sub, ok := e.(*sql.SubqueryExpr); ok {
-			if correlatedAtDepth(sub.Query, 2) {
-				found = true
-			}
-			return false
-		}
-		return !found
-	})
-	return found
+	return correlatedAtDepth(stmt, 1)
 }
 
 func correlatedAtDepth(stmt *sql.SelectStmt, depth int) bool {
@@ -694,11 +1036,24 @@ func correlatedAtDepth(stmt *sql.SelectStmt, depth int) bool {
 		if c, ok := e.(*sql.ColumnRef); ok && c.Outer >= depth {
 			found = true
 		}
-		if sub, ok := e.(*sql.SubqueryExpr); ok {
+		switch sub := e.(type) {
+		case *sql.SubqueryExpr:
 			if correlatedAtDepth(sub.Query, depth+1) {
 				found = true
 			}
 			return false
+		case *sql.ExistsExpr:
+			if correlatedAtDepth(sub.Query, depth+1) {
+				found = true
+			}
+			return false
+		case *sql.InExpr:
+			// The needle is walked by walkExpr at this depth; only the
+			// subquery body shifts down a scope.
+			if correlatedAtDepth(sub.Query, depth+1) {
+				found = true
+			}
+			return true
 		}
 		return !found
 	})

@@ -22,5 +22,12 @@ echo "== metrics overhead smoke ==" && sh scripts/metrics_smoke.sh
 echo "== crash recovery ==" && go test ./internal/wal/ -run 'TestCrashRecoveryFaultMatrix|TestDoubleCrashRecovery' -count=1
 bash scripts/crash_smoke.sh
 
+# Qgen differential + fuzz smoke: seeded random queries over the widened
+# SQL surface (AVG, EXISTS/IN, LEFT OUTER JOIN) must agree bitwise across
+# the typed, generic, and sharded engines and the re-evaluating oracle,
+# then a short coverage-guided pass over the seed space.
+echo "== qgen differential smoke ==" && go test ./internal/qgen/ -run 'TestQgenDifferential|TestQgenAlwaysCompiles' -short -count=1
+echo "== qgen fuzz smoke ==" && go test ./internal/qgen/ -run xxx -fuzz FuzzQueryAgreement -fuzztime 10s
+
 echo "== race ==" && go test -race ./...
 echo "tier-1 OK"
