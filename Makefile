@@ -6,11 +6,14 @@
 #                  internal/engine, internal/server)
 #   make bench   — the hot-path benchmark harness; writes
 #                  BENCH_hotpath.json (ns/op, B/op, allocs/op)
+#   make scaling — multi-core scaling curves for the ring-based sharded
+#                  dispatcher at GOMAXPROCS 1/2/4/8; writes
+#                  BENCH_shards.json (ns/op per core count + speedups)
 #   make fuzz    — a short pass over every fuzz target
 
 GO ?= go
 
-.PHONY: all check race bench fuzz
+.PHONY: all check race bench scaling fuzz
 
 all: check race
 
@@ -25,6 +28,9 @@ race:
 
 bench:
 	scripts/bench.sh
+
+scaling:
+	SUITE=shards scripts/bench.sh
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzShardedAgreement -fuzztime 10s ./internal/engine

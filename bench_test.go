@@ -14,6 +14,7 @@ package dbtoaster_test
 
 import (
 	"fmt"
+	stdruntime "runtime"
 	"testing"
 
 	"dbtoaster/internal/bakeoff"
@@ -280,6 +281,64 @@ func BenchmarkShardedToaster(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(sh.MemEntries()), "entries")
+		})
+	}
+}
+
+// BenchmarkShardScaling is the multi-core scaling rig for the ring-based
+// dispatcher (SUITE=shards scripts/bench.sh → BENCH_shards.json). Run with
+// `-cpu 1,2,4,8`: each run sets GOMAXPROCS (the `-N` name suffix) and the
+// shard count tracks it, so ns/op across runs is the scaling curve. The
+// producer feeds pre-built event batches straight into the runtime
+// dispatcher — batched admission, no per-event coercion — so the measured
+// path is rings + workers, and Flush sits inside the timed region so
+// queued work is paid for, not hidden.
+func BenchmarkShardScaling(b *testing.B) {
+	cases := []struct{ name, sql string }{
+		{"groupby-sum", "select B, sum(A) from R group by B"},
+		{"join-groupby", "select R.B, sum(R.A*S.C) from R, S where R.B = S.B group by R.B"},
+	}
+	events := shardedBenchEvents(16384)
+	revs := make([]runtime.Event, len(events))
+	for i, ev := range events {
+		revs[i] = runtime.Event{Rel: ev.Relation, Insert: ev.Op == stream.Insert, Args: ev.Args}
+	}
+	const chunk = 256
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			procs := stdruntime.GOMAXPROCS(0)
+			q, err := engine.Prepare(c.sql, rstCatalog())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh, err := engine.NewShardedToaster(q, procs, runtime.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sh.Close()
+			rt := sh.Runtime()
+			b.ReportAllocs()
+			b.ResetTimer()
+			sent := 0
+			for sent < b.N {
+				lo := sent % len(revs)
+				hi := lo + chunk
+				if hi > len(revs) {
+					hi = len(revs)
+				}
+				if hi-lo > b.N-sent {
+					hi = lo + (b.N - sent)
+				}
+				if err := rt.OnEventBatch(revs[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+				sent += hi - lo
+			}
+			if err := rt.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(procs), "shards")
 		})
 	}
 }

@@ -54,6 +54,14 @@ func (s *Snapshot) WritePrometheus(w io.Writer) {
 	}
 	writeDispatchProm(w, "shard", s.Shard)
 	writeDispatchProm(w, "global", s.Global)
+	if d := s.WAL; d != nil {
+		fmt.Fprintf(w, "# TYPE dbt_wal_appends_total counter\ndbt_wal_appends_total %d\n", d.Appends)
+		fmt.Fprintf(w, "# TYPE dbt_wal_appended_bytes_total counter\ndbt_wal_appended_bytes_total %d\n", d.AppendedBytes)
+		fmt.Fprintf(w, "# TYPE dbt_wal_syncs_total counter\ndbt_wal_syncs_total %d\n", d.Syncs)
+		fmt.Fprintf(w, "# TYPE dbt_wal_group_commits_total counter\ndbt_wal_group_commits_total %d\n", d.GroupCommits)
+		fmt.Fprintf(w, "# TYPE dbt_wal_group_size histogram\n")
+		writePromHistogram(w, "dbt_wal_group_size", `stage="commit"`, d.GroupSize)
+	}
 }
 
 // Label values are rendered with %q: Go's quoting escapes the backslash,
@@ -94,6 +102,8 @@ func writeDispatchProm(w io.Writer, kind string, d *DispatchSnapshot) {
 	writePromHistogram(w, "dbt_dispatch_batch_size", fmt.Sprintf("worker=%q", kind), d.BatchSize)
 	fmt.Fprintf(w, "# TYPE dbt_dispatch_queue_depth histogram\n")
 	writePromHistogram(w, "dbt_dispatch_queue_depth", fmt.Sprintf("worker=%q", kind), d.QueueDepth)
+	fmt.Fprintf(w, "# TYPE dbt_dispatch_stalls_total counter\ndbt_dispatch_stalls_total{worker=%q} %d\n", kind, d.Stalls)
+	fmt.Fprintf(w, "# TYPE dbt_dispatch_parks_total counter\ndbt_dispatch_parks_total{worker=%q} %d\n", kind, d.Parks)
 }
 
 // HTTPServer is a running metrics endpoint.

@@ -217,13 +217,16 @@ type TriggerStats struct {
 
 // DispatchStats is one sharded-dispatcher series (the shard workers in
 // aggregate, or the global worker): batches handed off, events they
-// carried, the batch-size distribution, and the channel queue depth
-// observed at each hand-off.
+// carried, the batch-size distribution, the ring queue depth observed at
+// each hand-off, and the backpressure counters — producer stalls against
+// a full ring and consumer parks on an empty one.
 type DispatchStats struct {
 	Batches    Counter
 	Events     Counter
 	BatchSize  Histogram
 	QueueDepth Histogram
+	Stalls     Counter
+	Parks      Counter
 }
 
 // WorkerApplyStats is one shard (or global) worker's batch-apply series:
@@ -240,8 +243,10 @@ type WorkerApplyStats struct {
 }
 
 // WALStats is the durability subsystem's series: write-ahead appends,
-// fsync and checkpoint durations, and recovery activity. Registered once
-// per sink (the WAL is a server-wide facility, not per-query).
+// fsync and checkpoint durations, recovery activity, and the group-commit
+// stage (commit groups written, the distribution of events coalesced per
+// group). Registered once per sink (the WAL is a server-wide facility,
+// not per-query).
 type WALStats struct {
 	Appends         Counter
 	AppendedBytes   Counter
@@ -252,6 +257,8 @@ type WALStats struct {
 	CheckpointBytes Counter
 	Recoveries      Counter
 	ReplayedRecords Counter
+	GroupCommits    Counter
+	GroupSize       Histogram
 }
 
 // MapStats is one view map's live gauges: entry cardinality and its
@@ -277,6 +284,8 @@ func (m *MapStats) ApproxBytes() uint64 {
 		return n * 24
 	case "int2":
 		return n * 32
+	case "int3", "int4":
+		return n * 48 // [4]uint64 key + float64 value in Go map cells
 	default:
 		return n * 112
 	}
@@ -485,6 +494,8 @@ func (s *Sink) Reset() {
 		d.Events.Reset()
 		d.BatchSize.Reset()
 		d.QueueDepth.Reset()
+		d.Stalls.Reset()
+		d.Parks.Reset()
 	}
 	if wal != nil {
 		wal.Appends.Reset()
@@ -496,6 +507,8 @@ func (s *Sink) Reset() {
 		wal.CheckpointBytes.Reset()
 		wal.Recoveries.Reset()
 		wal.ReplayedRecords.Reset()
+		wal.GroupCommits.Reset()
+		wal.GroupSize.Reset()
 	}
 }
 
@@ -527,6 +540,8 @@ type DispatchSnapshot struct {
 	Events     uint64            `json:"events"`
 	BatchSize  HistogramSnapshot `json:"batch_size"`
 	QueueDepth HistogramSnapshot `json:"queue_depth"`
+	Stalls     uint64            `json:"stalls"`
+	Parks      uint64            `json:"parks"`
 }
 
 // WorkerApplySnapshot is one worker's batch-apply series at a point in
@@ -550,6 +565,8 @@ type WALSnapshot struct {
 	CheckpointBytes uint64            `json:"checkpoint_bytes"`
 	Recoveries      uint64            `json:"recoveries"`
 	ReplayedRecords uint64            `json:"replayed_records"`
+	GroupCommits    uint64            `json:"group_commits"`
+	GroupSize       HistogramSnapshot `json:"group_size"`
 }
 
 // HeapSnapshot is the process-level memory picture backing the "bytes"
@@ -586,6 +603,8 @@ func dispatchSnap(d *DispatchStats) *DispatchSnapshot {
 		Events:     d.Events.Load(),
 		BatchSize:  d.BatchSize.Snapshot(),
 		QueueDepth: d.QueueDepth.Snapshot(),
+		Stalls:     d.Stalls.Load(),
+		Parks:      d.Parks.Load(),
 	}
 }
 
@@ -688,6 +707,8 @@ func (s *Sink) Snapshot() *Snapshot {
 			CheckpointBytes: wal.CheckpointBytes.Load(),
 			Recoveries:      wal.Recoveries.Load(),
 			ReplayedRecords: wal.ReplayedRecords.Load(),
+			GroupCommits:    wal.GroupCommits.Load(),
+			GroupSize:       wal.GroupSize.Snapshot(),
 		}
 	}
 	var ms runtime.MemStats
@@ -735,10 +756,11 @@ func (s *Snapshot) Lines() []string {
 			return
 		}
 		out = append(out, fmt.Sprintf(
-			"dispatch %s batches=%d events=%d batch_p50=%d batch_p99=%d queue_p50=%d queue_p99=%d",
+			"dispatch %s batches=%d events=%d batch_p50=%d batch_p99=%d queue_p50=%d queue_p99=%d stalls=%d parks=%d",
 			kind, d.Batches, d.Events,
 			d.BatchSize.Quantile(0.50), d.BatchSize.Quantile(0.99),
-			d.QueueDepth.Quantile(0.50), d.QueueDepth.Quantile(0.99)))
+			d.QueueDepth.Quantile(0.50), d.QueueDepth.Quantile(0.99),
+			d.Stalls, d.Parks))
 	}
 	writeDispatch("shard", s.Shard)
 	writeDispatch("global", s.Global)
@@ -754,10 +776,11 @@ func (s *Snapshot) Lines() []string {
 	}
 	if w := s.WAL; w != nil {
 		out = append(out, fmt.Sprintf(
-			"wal appends=%d appended_bytes=%d syncs=%d sync_p99_ns=%d checkpoints=%d ckpt_mean_ns=%.0f ckpt_bytes=%d recoveries=%d replayed=%d",
+			"wal appends=%d appended_bytes=%d syncs=%d sync_p99_ns=%d checkpoints=%d ckpt_mean_ns=%.0f ckpt_bytes=%d recoveries=%d replayed=%d group_commits=%d group_p50=%d group_p99=%d",
 			w.Appends, w.AppendedBytes, w.Syncs, w.SyncNs.Quantile(0.99),
 			w.Checkpoints, w.CheckpointNs.Mean(), w.CheckpointBytes,
-			w.Recoveries, w.ReplayedRecords))
+			w.Recoveries, w.ReplayedRecords,
+			w.GroupCommits, w.GroupSize.Quantile(0.50), w.GroupSize.Quantile(0.99)))
 	}
 	return out
 }

@@ -1,0 +1,200 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dbtoaster/internal/types"
+)
+
+// TestStickyErrorSurfacesOnNextCall: a worker error set mid-stream (here
+// injected directly into the sticky slot, as a poisoned batch would) must
+// fail the very next OnEvent/OnEventBatch/Flush from any producer — not
+// only Close. Regression test for the error being readable without a
+// flush barrier.
+func TestStickyErrorSurfacesOnNextCall(t *testing.T) {
+	sh, err := NewShardedEngine(compileProg(t, "select B, sum(A) from R group by B"), ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	ev := types.Tuple{types.NewInt(1), types.NewInt(2)}
+	if err := sh.OnEvent("R", true, ev); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("worker poisoned")
+	done := make(chan struct{})
+	go func() { // a worker goroutine reports the failure
+		sh.setErr(boom)
+		close(done)
+	}()
+	<-done
+	if err := sh.OnEvent("R", true, ev); !errors.Is(err, boom) {
+		t.Fatalf("OnEvent after worker error = %v, want %v", err, boom)
+	}
+	if err := sh.OnEventBatch([]Event{{Rel: "R", Insert: true, Args: ev}}); !errors.Is(err, boom) {
+		t.Fatalf("OnEventBatch after worker error = %v, want %v", err, boom)
+	}
+	if err := sh.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("Flush after worker error = %v, want %v", err, boom)
+	}
+	if err := sh.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close after worker error = %v, want %v", err, boom)
+	}
+}
+
+// concurrencyQueries are integer-valued SUM queries: float64 arithmetic on
+// small integers is exact and addition commutes, so any interleaving of
+// producer batches must converge to bitwise-identical map state.
+var concurrencyQueries = []string{
+	"select B, sum(A) from R group by B",
+	"select R.B, sum(R.A*S.C) from R, S where R.B=S.B group by R.B",
+}
+
+// mergedState flattens a sharded engine's maps (global + all shards) into
+// one key→value view per map.
+func mergedState(t *testing.T, sh *ShardedEngine) map[string]map[types.Key]float64 {
+	t.Helper()
+	out := map[string]map[types.Key]float64{}
+	for _, name := range sh.Program().MapOrder {
+		got := map[types.Key]float64{}
+		collect := func(m *Map) {
+			m.Scan(func(tp types.Tuple, v float64) {
+				got[types.EncodeKey(tp)] += v
+			})
+		}
+		collect(sh.GlobalMap(name))
+		for i := 0; i < sh.NumShards(); i++ {
+			collect(sh.ShardMap(i, name))
+		}
+		out[name] = got
+	}
+	return out
+}
+
+// TestConcurrentProducersMatchSequential drives the same event set into a
+// sharded engine from one goroutine and from G concurrent goroutines
+// (disjoint slices, interleaved OnEventBatch and Flush calls) and requires
+// bitwise-identical final state. Run under -race this also exercises the
+// routing lock and the SPSC ring handshakes.
+func TestConcurrentProducersMatchSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var events []Event
+	for i := 0; i < 1200; i++ {
+		rel := []string{"R", "S"}[r.Intn(2)]
+		events = append(events, Event{
+			Rel:    rel,
+			Insert: r.Intn(4) != 0, // mostly inserts so state stays populated
+			Args:   types.Tuple{types.NewInt(int64(r.Intn(7))), types.NewInt(int64(r.Intn(5)))},
+		})
+	}
+	for _, src := range concurrencyQueries {
+		for _, producers := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/producers=%d", src, producers), func(t *testing.T) {
+				seq, err := NewShardedEngine(compileProg(t, src), ShardOptions{Shards: 4, Batch: 16})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer seq.Close()
+				for _, ev := range events {
+					if err := seq.OnEvent(ev.Rel, ev.Insert, ev.Args); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := seq.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				want := mergedState(t, seq)
+
+				con, err := NewShardedEngine(compileProg(t, src), ShardOptions{Shards: 4, Batch: 16, Queue: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer con.Close()
+				var wg sync.WaitGroup
+				for p := 0; p < producers; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						// Each producer owns a disjoint stripe and sends it
+						// in small batches, flushing mid-stream sometimes.
+						for lo := p; lo < len(events); lo += producers * 8 {
+							hi := lo
+							batch := make([]Event, 0, 8)
+							for k := 0; k < 8 && hi < len(events); k++ {
+								batch = append(batch, events[hi])
+								hi += producers
+							}
+							if err := con.OnEventBatch(batch); err != nil {
+								t.Error(err)
+								return
+							}
+							if lo%(producers*64) == p {
+								if err := con.Flush(); err != nil {
+									t.Error(err)
+									return
+								}
+							}
+						}
+					}(p)
+				}
+				wg.Wait()
+				if err := con.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				if got, want := con.Events(), seq.Events(); got != want {
+					t.Fatalf("concurrent producers accepted %d events, want %d", got, want)
+				}
+				got := mergedState(t, con)
+				for name, wantMap := range want {
+					gotMap := got[name]
+					if len(gotMap) != len(wantMap) {
+						t.Errorf("map %s: %d entries, want %d", name, len(gotMap), len(wantMap))
+						continue
+					}
+					for k, v := range wantMap {
+						if gotMap[k] != v {
+							t.Errorf("map %s key %q = %v, want %v (not bitwise identical)", name, k, gotMap[k], v)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentProducersCloseRace: Close racing active producers must
+// leave the engine closed with every producer either fully accepted or
+// cleanly rejected — no hangs, no panics.
+func TestConcurrentProducersCloseRace(t *testing.T) {
+	sh, err := NewShardedEngine(compileProg(t, "select B, sum(A) from R group by B"), ShardOptions{Shards: 2, Batch: 4, Queue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				ev := types.Tuple{types.NewInt(int64(i)), types.NewInt(int64(p))}
+				if err := sh.OnEvent("R", true, ev); err != nil {
+					return // closed underneath us: fine
+				}
+			}
+		}(p)
+	}
+	close(start)
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := sh.OnEvent("R", true, types.Tuple{types.NewInt(1), types.NewInt(1)}); err == nil {
+		t.Error("OnEvent after Close must fail")
+	}
+}

@@ -111,7 +111,7 @@ type stmtFn func(env *cenv)
 // per-trigger closures.
 //
 // When the program carries type annotations (ir.InferTypes) and no option
-// forces the generic path, maps with all-int keys of arity 1 or 2 use
+// forces the generic path, maps with all-int keys of arity 1 to 4 use
 // packed storage and statements compile to unboxed typed kernels. Storage
 // selection is optimistic: compilation demotes any packed map with an
 // access site it cannot prove int-safe and the engine is rebuilt with that
@@ -147,9 +147,9 @@ func (o Options) typedMode() bool {
 
 // mapLayout selects a map's physical layout: packed storage requires every
 // key position to be statically guaranteed int (see
-// guaranteedIntPositions), arity 1 or 2, and no sorted mirror.
+// guaranteedIntPositions), arity 1 to 4, and no sorted mirror.
 func mapLayout(d *ir.MapDecl, banned map[string]bool, intPos map[string][]bool) storeKind {
-	if banned[d.Name] || d.Sorted || len(d.Keys) == 0 || len(d.Keys) > 2 {
+	if banned[d.Name] || d.Sorted || len(d.Keys) == 0 || len(d.Keys) > 4 {
 		return storeGeneric
 	}
 	g := intPos[d.Name]
@@ -161,10 +161,16 @@ func mapLayout(d *ir.MapDecl, banned map[string]bool, intPos map[string][]bool) 
 			return storeGeneric
 		}
 	}
-	if len(d.Keys) == 1 {
+	switch len(d.Keys) {
+	case 1:
 		return storeI1
+	case 2:
+		return storeI2
+	case 3:
+		return storeI3
+	default:
+		return storeI4
 	}
-	return storeI2
 }
 
 func newEngine(prog *ir.Program, opts Options, banned map[string]bool) (*Engine, error) {

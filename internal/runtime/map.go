@@ -5,12 +5,13 @@
 // sorted treap mirror (backing MIN/MAX and threshold range reads).
 //
 // Maps come in two physical layouts selected from the program's static
-// type annotations (ir.InferTypes). All-int key tuples of arity 1 or 2
-// pack into native uint64 / [2]uint64 Go map keys with unboxed float64
-// values — no types.Value boxing, no variable-length byte-key encoding,
-// no per-operation kind dispatch. Everything else (string or float keys,
-// arity ≥ 3, sorted mirrors, untyped programs) uses the generic layout:
-// a byte-encoded key string probed through reused scratch buffers.
+// type annotations (ir.InferTypes). All-int key tuples of arity 1 to 4
+// pack into native uint64 / [2]uint64 / [4]uint64 Go map keys with
+// unboxed float64 values — no types.Value boxing, no variable-length
+// byte-key encoding, no per-operation kind dispatch. Everything else
+// (string or float keys, arity ≥ 5, sorted mirrors, untyped programs)
+// uses the generic layout: a byte-encoded key string probed through
+// reused scratch buffers.
 //
 // Programs run either as pre-compiled closures — the Go analogue of the
 // paper's generated C++ — or through a direct IR interpreter kept for the
@@ -38,6 +39,11 @@ const (
 	storeI1
 	// storeI2 packs two int keys into a [2]uint64.
 	storeI2
+	// storeI3 and storeI4 pack three or four int keys into a zero-padded
+	// [4]uint64 (all keys of one map share an arity, so padding cannot
+	// collide).
+	storeI3
+	storeI4
 )
 
 func (k storeKind) String() string {
@@ -46,9 +52,28 @@ func (k storeKind) String() string {
 		return "int1"
 	case storeI2:
 		return "int2"
+	case storeI3:
+		return "int3"
+	case storeI4:
+		return "int4"
 	default:
 		return "generic"
 	}
+}
+
+// pkArity returns the packed key arity (0 for the generic layout).
+func (k storeKind) pkArity() int {
+	switch k {
+	case storeI1:
+		return 1
+	case storeI2:
+		return 2
+	case storeI3:
+		return 3
+	case storeI4:
+		return 4
+	}
+	return 0
 }
 
 // Map is one materialized view map.
@@ -64,6 +89,8 @@ type Map struct {
 	i1       map[uint64]float64
 	i2       map[[2]uint64]float64
 	i2slices []*i2Slice
+	iN       map[[4]uint64]float64 // storeI3/storeI4, zero-padded
+	iNslices []*iNSlice
 
 	sorted *treap.Tree
 	// scratch is the reused key-encoding buffer: Get/Add encode the key
@@ -96,10 +123,11 @@ type sliceIndex struct {
 	positions []int // bound key positions
 	buckets   map[types.Key]map[types.Key]*entry
 	scratch   []byte // reused bound-key encoding buffer
-	// typed/owner are set on two-int-key maps: the handle fronts a packed
-	// index and Iterate delegates to it.
-	typed *i2Slice
-	owner *Map
+	// typed/typedN/owner are set on packed-int-key maps: the handle fronts
+	// a packed index and Iterate delegates to it.
+	typed  *i2Slice
+	typedN *iNSlice
+	owner  *Map
 }
 
 // i2Slice is the specialized secondary index for two-int-key maps: one
@@ -109,6 +137,45 @@ type sliceIndex struct {
 type i2Slice struct {
 	pos     int // the bound key position (0 or 1)
 	buckets map[uint64]map[[2]uint64]float64
+}
+
+// iNSlice is the packed secondary index for three- and four-int-key maps.
+// Buckets key on the full-width bound key — bound positions filled, the
+// rest zero — which is unambiguous because an index binds a fixed position
+// set. Like i2Slice, buckets duplicate the values so iteration never
+// re-probes the primary map.
+type iNSlice struct {
+	positions []int // bound key positions, ascending
+	buckets   map[[4]uint64]map[[4]uint64]float64
+}
+
+// boundOf projects a full packed key onto the index's bound positions.
+func (s *iNSlice) boundOf(k [4]uint64) [4]uint64 {
+	var b [4]uint64
+	for _, p := range s.positions {
+		b[p] = k[p]
+	}
+	return b
+}
+
+func (s *iNSlice) set(k [4]uint64, v float64) {
+	bk := s.boundOf(k)
+	b, ok := s.buckets[bk]
+	if !ok {
+		b = make(map[[4]uint64]float64)
+		s.buckets[bk] = b
+	}
+	b[k] = v
+}
+
+func (s *iNSlice) remove(k [4]uint64) {
+	bk := s.boundOf(k)
+	if b, ok := s.buckets[bk]; ok {
+		delete(b, k)
+		if len(b) == 0 {
+			delete(s.buckets, bk)
+		}
+	}
 }
 
 // NewMap creates an empty generic-layout map for the declaration; a sorted
@@ -129,6 +196,8 @@ func newMapWithKind(decl *ir.MapDecl, kind storeKind) *Map {
 		m.i1 = make(map[uint64]float64)
 	case storeI2:
 		m.i2 = make(map[[2]uint64]float64)
+	case storeI3, storeI4:
+		m.iN = make(map[[4]uint64]float64)
 	default:
 		m.entries = make(map[types.Key]*entry)
 	}
@@ -151,6 +220,8 @@ func (m *Map) Len() int {
 		return len(m.i1)
 	case storeI2:
 		return len(m.i2)
+	case storeI3, storeI4:
+		return len(m.iN)
 	default:
 		return len(m.entries)
 	}
@@ -166,6 +237,15 @@ func (m *Map) packInt(v types.Value) uint64 {
 	return uint64(v.Int())
 }
 
+// packIN packs a 3- or 4-int key tuple into the zero-padded wide form.
+func (m *Map) packIN(key types.Tuple) [4]uint64 {
+	var k [4]uint64
+	for i, v := range key {
+		k[i] = m.packInt(v)
+	}
+	return k
+}
+
 // Get returns the value at key (0 when absent). Allocation-free: generic
 // layouts encode the key into the map's scratch buffer, typed layouts
 // pack it into native ints.
@@ -175,6 +255,8 @@ func (m *Map) Get(key types.Tuple) float64 {
 		return m.i1[m.packInt(key[0])]
 	case storeI2:
 		return m.i2[[2]uint64{m.packInt(key[0]), m.packInt(key[1])}]
+	case storeI3, storeI4:
+		return m.iN[m.packIN(key)]
 	default:
 		m.scratch = types.AppendKey(m.scratch[:0], key)
 		return m.GetKey(m.scratch)
@@ -208,6 +290,8 @@ func (m *Map) Add(key types.Tuple, delta float64) {
 		m.addI1(m.packInt(key[0]), delta)
 	case storeI2:
 		m.addI2([2]uint64{m.packInt(key[0]), m.packInt(key[1])}, delta)
+	case storeI3, storeI4:
+		m.addIN(m.packIN(key), delta)
 	default:
 		m.scratch = types.AppendKey(m.scratch[:0], key)
 		m.AddKey(m.scratch, key, delta)
@@ -319,6 +403,41 @@ func (m *Map) addI2(k [2]uint64, delta float64) {
 	}
 }
 
+// addIN is the packed add for three- and four-int-key maps; like addI2,
+// slice buckets carry the value alongside the primary map.
+func (m *Map) addIN(k [4]uint64, delta float64) {
+	if delta == 0 {
+		return
+	}
+	m.updates++
+	old, ok := m.iN[k]
+	v := old + delta
+	if v == 0 {
+		if ok {
+			delete(m.iN, k)
+			for _, s := range m.iNslices {
+				s.remove(k)
+			}
+			if m.gauges != nil {
+				m.gauges.Entries.Dec()
+			}
+		}
+		return
+	}
+	m.iN[k] = v
+	for _, s := range m.iNslices {
+		s.set(k, v)
+	}
+	if !ok {
+		if len(m.iN) > m.peak {
+			m.peak = len(m.iN)
+		}
+		if m.gauges != nil {
+			m.gauges.Peak.MaxTo(m.gauges.Entries.Inc())
+		}
+	}
+}
+
 // Scan visits every entry. For typed layouts the tuple passed to f is a
 // reused buffer valid only during the callback — Clone it to retain it
 // (generic layouts pass the stored tuple, but callers should not rely on
@@ -336,6 +455,15 @@ func (m *Map) Scan(f func(types.Tuple, float64)) {
 		for k, v := range m.i2 {
 			t[0] = types.NewInt(int64(k[0]))
 			t[1] = types.NewInt(int64(k[1]))
+			f(t, v)
+		}
+	case storeI3, storeI4:
+		n := m.kind.pkArity()
+		t := m.ensureScanBuf(n)
+		for k, v := range m.iN {
+			for i := 0; i < n; i++ {
+				t[i] = types.NewInt(int64(k[i]))
+			}
 			f(t, v)
 		}
 	default:
@@ -396,6 +524,14 @@ func (m *Map) EnsureSlice(positions []int) *sliceIndex {
 	}
 	s := &sliceIndex{positions: append([]int{}, positions...)}
 	switch m.kind {
+	case storeI3, storeI4:
+		if len(positions) == 0 || len(positions) >= m.kind.pkArity() {
+			panic(fmt.Sprintf("runtime: slice over %d positions of %d-key map %s", len(positions), m.kind.pkArity(), m.Name()))
+		}
+		ts := &iNSlice{positions: append([]int{}, positions...), buckets: make(map[[4]uint64]map[[4]uint64]float64)}
+		m.iNslices = append(m.iNslices, ts)
+		s.typedN = ts
+		s.owner = m
 	case storeI2:
 		// A proper slice over a 2-key map binds exactly one position.
 		if len(positions) != 1 {
@@ -424,6 +560,11 @@ func (m *Map) EnsureSlice(positions []int) *sliceIndex {
 // iterate it directly.
 func (m *Map) ensureI2Slice(pos int) *i2Slice {
 	return m.EnsureSlice([]int{pos}).typed
+}
+
+// ensureINSlice is ensureI2Slice for three- and four-int-key maps.
+func (m *Map) ensureINSlice(positions []int) *iNSlice {
+	return m.EnsureSlice(positions).typedN
 }
 
 func (s *i2Slice) set(k [2]uint64, v float64) {
@@ -476,6 +617,24 @@ func (s *sliceIndex) remove(e *entry) {
 // Iterate visits entries whose bound positions equal boundVals. Like
 // Scan, typed layouts pass a reused tuple valid only during the callback.
 func (s *sliceIndex) Iterate(boundVals types.Tuple, f func(types.Tuple, float64)) {
+	if s.typedN != nil {
+		m := s.owner
+		n := m.kind.pkArity()
+		t := m.ensureScanBuf(n)
+		var bk [4]uint64
+		for i, p := range s.typedN.positions {
+			bk[p] = m.packInt(boundVals[i])
+		}
+		if b, ok := s.typedN.buckets[bk]; ok {
+			for k, v := range b {
+				for i := 0; i < n; i++ {
+					t[i] = types.NewInt(int64(k[i]))
+				}
+				f(t, v)
+			}
+		}
+		return
+	}
 	if s.typed != nil {
 		m := s.owner
 		t := m.ensureScanBuf(2)
@@ -527,7 +686,7 @@ type MemStats struct {
 	Updates uint64
 	Slices  int
 	Sorted  bool
-	// Layout is the physical storage layout ("int1", "int2", "generic").
+	// Layout is the physical storage layout ("int1".."int4", "generic").
 	Layout string
 }
 

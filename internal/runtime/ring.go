@@ -1,0 +1,154 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"sync/atomic"
+
+	"dbtoaster/internal/metrics"
+)
+
+// eventRing is a bounded single-producer single-consumer ring of event
+// batches: the hand-off between the dispatcher's routing stage and one
+// shard (or global) worker. Compared to a Go channel it removes the
+// runtime's lock and sudog machinery from the steady-state path — a push
+// is one padded atomic store, a pop one padded atomic load — while
+// keeping the same bounded-queue backpressure: a full ring stalls the
+// producer, an empty ring spins the consumer briefly and then parks it
+// on a wake channel so an idle shard costs no CPU.
+//
+// The head/tail indices live on separate cache lines so the producer and
+// consumer cores do not false-share; each side reads the opposite index
+// only when its cached bound is exhausted.
+type eventRing struct {
+	_    [64]byte
+	head atomic.Uint64 // next slot the consumer reads
+	_    [64]byte
+	tail atomic.Uint64 // next slot the producer writes
+	_    [64]byte
+
+	mask uint64
+	buf  [][]Event
+
+	closed atomic.Bool
+
+	// Consumer parking handshake: the consumer publishes parked, re-checks
+	// tail, then blocks on wake; the producer publishes tail, then checks
+	// parked. Sequentially consistent atomics make missing both impossible,
+	// and the 1-buffered channel absorbs a duplicate wake.
+	parked atomic.Bool
+	wake   chan struct{}
+
+	// stalls counts producer spins against a full ring, parks the times the
+	// consumer went to sleep; surfaced through the dispatch metrics.
+	stalls atomic.Uint64
+	parks  atomic.Uint64
+}
+
+// spinBudget is how many empty polls a consumer burns (yielding between
+// polls) before parking. Parking costs a channel round trip (~µs);
+// spinning covers the common gap between batches at streaming rates.
+const spinBudget = 64
+
+func newEventRing(capacity int) *eventRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &eventRing{
+		mask: uint64(n - 1),
+		buf:  make([][]Event, n),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// cap returns the ring capacity in batches.
+func (r *eventRing) cap() int { return len(r.buf) }
+
+// depth returns the number of queued batches (racy snapshot, for metrics).
+func (r *eventRing) depth() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// push enqueues one batch, blocking while the ring is full (bounded-queue
+// backpressure: a slow worker stalls its producers instead of growing an
+// unbounded buffer). Single producer only.
+func (r *eventRing) push(b []Event) {
+	for {
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.buf)) {
+			r.buf[t&r.mask] = b
+			r.tail.Store(t + 1)
+			if r.parked.Load() {
+				select {
+				case r.wake <- struct{}{}:
+				default:
+				}
+			}
+			return
+		}
+		r.stalls.Add(1)
+		goruntime.Gosched()
+	}
+}
+
+// pop dequeues the next batch, spinning briefly and then parking when the
+// ring is empty. Returns ok=false once the ring is closed and drained.
+// Single consumer only.
+func (r *eventRing) pop() ([]Event, bool) {
+	spins := 0
+	for {
+		h := r.head.Load()
+		if h != r.tail.Load() {
+			idx := h & r.mask
+			b := r.buf[idx]
+			r.buf[idx] = nil
+			r.head.Store(h + 1)
+			return b, true
+		}
+		if r.closed.Load() {
+			// Re-check emptiness after observing closed: a push immediately
+			// before close must still be drained.
+			if r.head.Load() == r.tail.Load() {
+				return nil, false
+			}
+			continue
+		}
+		if spins < spinBudget {
+			spins++
+			goruntime.Gosched()
+			continue
+		}
+		r.parks.Add(1)
+		r.parked.Store(true)
+		if r.tail.Load() != h || r.closed.Load() {
+			r.parked.Store(false)
+			continue
+		}
+		<-r.wake
+		r.parked.Store(false)
+		spins = 0
+	}
+}
+
+// close marks the ring closed and wakes the consumer so it can drain and
+// exit. Producer side; push must not be called afterwards.
+func (r *eventRing) close() {
+	r.closed.Store(true)
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// recordDispatch folds one hand-off into a dispatch series (nil-safe).
+func (r *eventRing) recordDispatch(d *metrics.DispatchStats, batchLen int) {
+	if d == nil {
+		return
+	}
+	d.Batches.Inc()
+	d.Events.Add(uint64(batchLen))
+	d.BatchSize.Observe(int64(batchLen))
+	d.QueueDepth.Observe(int64(r.depth()))
+	d.Stalls.Add(r.stalls.Swap(0))
+	d.Parks.Add(r.parks.Swap(0))
+}

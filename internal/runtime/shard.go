@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbtoaster/internal/ir"
@@ -18,7 +19,9 @@ type ShardOptions struct {
 	// Batch is the dispatcher's batch size: consecutive events routed to
 	// the same shard are grouped into one hand-off (default 64).
 	Batch int
-	// Queue is the per-worker channel depth, in batches (default 4).
+	// Queue is the per-worker ring depth, in batches (default 4, rounded
+	// up to a power of two). A full ring stalls producers — bounded
+	// backpressure instead of unbounded buffering.
 	Queue int
 	// Base configures each worker's underlying engine.
 	Base Options
@@ -49,9 +52,11 @@ type route struct {
 // analysis cannot prove shard-local run on the global worker against
 // global map storage.
 //
-// The producer side (OnEvent, Flush, Close, Results-style readers) must
-// be driven from a single goroutine, like Engine. Reading maps is only
-// consistent after Flush.
+// Hand-off to the workers goes through bounded SPSC rings (eventRing):
+// the producer side holds a mutex only while routing an event to its
+// pending batch, so concurrent producers are safe — OnEvent, OnEventBatch,
+// Flush, and Close may be called from multiple goroutines. Reading maps
+// is only consistent after Flush.
 type ShardedEngine struct {
 	prog *ir.Program
 	part *Partition
@@ -61,10 +66,17 @@ type ShardedEngine struct {
 	shards []*Engine
 	global *Engine
 
-	shardCh  []chan []Event
-	globalCh chan []Event
-	pend     [][]Event
-	gpend    []Event
+	rings []*eventRing
+	gring *eventRing
+
+	// pmu guards the routing stage: pending batches, the event counter,
+	// and ring pushes (keeping each ring single-producer).
+	pmu   sync.Mutex
+	pend  [][]Event
+	gpend []Event
+	// free recycles drained batch slices from the workers back to the
+	// dispatcher, so steady-state hand-off allocates nothing.
+	free chan []Event
 
 	routeIns map[string]route
 	routeDel map[string]route
@@ -72,11 +84,13 @@ type ShardedEngine struct {
 	inflight sync.WaitGroup // outstanding batches
 	workers  sync.WaitGroup // live worker goroutines
 
-	mu     sync.Mutex
-	err    error
-	closed bool
+	// err is the sticky first worker error. It is atomic so a worker
+	// poisoned mid-stream surfaces on the next OnEvent/OnEventBatch/Flush
+	// from any producer without a lock round trip.
+	err    atomic.Pointer[workerError]
+	closed atomic.Bool
 
-	events uint64
+	events uint64 // guarded by pmu; consistent after Flush
 
 	// sink and the dispatch series are nil when instrumentation is off.
 	sink    *metrics.Sink
@@ -84,6 +98,9 @@ type ShardedEngine struct {
 	dShard  *metrics.DispatchStats
 	dGlobal *metrics.DispatchStats
 }
+
+// workerError boxes the sticky error behind one atomic pointer.
+type workerError struct{ err error }
 
 // NewShardedEngine partitions the program and starts the workers.
 func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, error) {
@@ -107,7 +124,7 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 		part:     part,
 		n:        n,
 		bsz:      bsz,
-		shardCh:  make([]chan []Event, n),
+		rings:    make([]*eventRing, n),
 		pend:     make([][]Event, n),
 		routeIns: map[string]route{},
 		routeDel: map[string]route{},
@@ -153,7 +170,7 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 			return nil, err
 		}
 		s.shards = append(s.shards, e)
-		s.shardCh[i] = make(chan []Event, queue)
+		s.rings[i] = newEventRing(queue)
 		s.pend[i] = make([]Event, 0, bsz)
 	}
 	var err error
@@ -161,15 +178,16 @@ func NewShardedEngine(prog *ir.Program, opts ShardOptions) (*ShardedEngine, erro
 	if err != nil {
 		return nil, err
 	}
-	s.globalCh = make(chan []Event, queue)
+	s.gring = newEventRing(queue)
 	s.gpend = make([]Event, 0, bsz)
+	s.free = make(chan []Event, (n+1)*(s.rings[0].cap()+2))
 
 	for i := 0; i < n; i++ {
 		s.workers.Add(1)
-		go s.worker(s.shards[i], s.shardCh[i], s.applyStats(fmt.Sprintf("shard-%d", i)))
+		go s.worker(s.shards[i], s.rings[i], s.applyStats(fmt.Sprintf("shard-%d", i)))
 	}
 	s.workers.Add(1)
-	go s.worker(s.global, s.globalCh, s.applyStats("global"))
+	go s.worker(s.global, s.gring, s.applyStats("global"))
 	return s, nil
 }
 
@@ -182,9 +200,16 @@ func (s *ShardedEngine) applyStats(worker string) *metrics.WorkerApplyStats {
 	return s.sink.WorkerApply(s.label, worker)
 }
 
-func (s *ShardedEngine) worker(e *Engine, ch chan []Event, st *metrics.WorkerApplyStats) {
+// worker drains one ring until it is closed, converting batch failures
+// into the sticky error while continuing to consume — a poisoned worker
+// must keep draining so producers stalled on a full ring are released.
+func (s *ShardedEngine) worker(e *Engine, r *eventRing, st *metrics.WorkerApplyStats) {
 	defer s.workers.Done()
-	for batch := range ch {
+	for {
+		batch, ok := r.pop()
+		if !ok {
+			return
+		}
 		if st != nil {
 			start := time.Now()
 			err := applyBatch(e, batch)
@@ -196,6 +221,11 @@ func (s *ShardedEngine) worker(e *Engine, ch chan []Event, st *metrics.WorkerApp
 			}
 		} else if err := applyBatch(e, batch); err != nil {
 			s.setErr(err)
+		}
+		// Recycle the drained slice; drop it if the free list is full.
+		select {
+		case s.free <- batch[:0]:
+		default:
 		}
 		s.inflight.Done()
 	}
@@ -215,18 +245,15 @@ func applyBatch(e *Engine, batch []Event) (err error) {
 }
 
 func (s *ShardedEngine) setErr(err error) {
-	s.mu.Lock()
-	if s.err == nil {
-		s.err = err
-	}
-	s.mu.Unlock()
+	s.err.CompareAndSwap(nil, &workerError{err: err})
 }
 
 // Err returns the first worker error, if any.
 func (s *ShardedEngine) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
+	if we := s.err.Load(); we != nil {
+		return we.err
+	}
+	return nil
 }
 
 // Program returns the engine's program.
@@ -244,20 +271,17 @@ func (s *ShardedEngine) ShardMap(i int, name string) *Map { return s.shards[i].M
 // GlobalMap returns the global worker's storage for a map.
 func (s *ShardedEngine) GlobalMap(name string) *Map { return s.global.Map(name) }
 
-// Events returns the number of accepted events.
+// Events returns the number of accepted events (consistent after Flush).
 func (s *ShardedEngine) Events() uint64 { return s.events }
 
 // checkOpen reports the first worker error or the closed state; it is the
-// per-call (not per-event) half of event admission.
+// per-call (not per-event) half of event admission. Lock-free: a sticky
+// error set by a worker mid-stream fails the very next producer call.
 func (s *ShardedEngine) checkOpen() error {
-	s.mu.Lock()
-	err := s.err
-	closed := s.closed
-	s.mu.Unlock()
-	if err != nil {
-		return err
+	if we := s.err.Load(); we != nil {
+		return we.err
 	}
-	if closed {
+	if s.closed.Load() {
 		return fmt.Errorf("runtime: sharded engine is closed")
 	}
 	return nil
@@ -280,7 +304,7 @@ func (s *ShardedEngine) routeOf(rel string, insert bool) (route, bool) {
 // enqueue routes one admitted delta to its pending batches. Admission
 // validates arity and declared column kinds here, on the producer's call,
 // so a malformed event yields an error to the caller rather than a sticky
-// worker failure later.
+// worker failure later. Caller holds pmu.
 func (s *ShardedEngine) enqueue(ev Event) error {
 	s.events++
 	r, ok := s.routeOf(ev.Rel, ev.Insert)
@@ -338,15 +362,28 @@ func (s *ShardedEngine) OnEvent(rel string, insert bool, args types.Tuple) error
 	if err := s.checkOpen(); err != nil {
 		return err
 	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	// Re-check under the routing lock: Close sets closed while holding it,
+	// so a producer that raced past checkOpen cannot enqueue into rings
+	// whose workers have already been told to exit.
+	if s.closed.Load() {
+		return fmt.Errorf("runtime: sharded engine is closed")
+	}
 	return s.enqueue(Event{Rel: rel, Insert: insert, Args: args})
 }
 
-// OnEventBatch routes a batch of deltas, paying the admission check (one
-// mutex round trip) once per batch instead of once per event. The batch
+// OnEventBatch routes a batch of deltas, paying the admission check and
+// the routing lock once per batch instead of once per event. The batch
 // slice may be reused by the caller after return; the Args tuples may not.
 func (s *ShardedEngine) OnEventBatch(evs []Event) error {
 	if err := s.checkOpen(); err != nil {
 		return err
+	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.closed.Load() { // see OnEvent: Close may have won the lock race
+		return fmt.Errorf("runtime: sharded engine is closed")
 	}
 	for _, ev := range evs {
 		if err := s.enqueue(ev); err != nil {
@@ -356,33 +393,42 @@ func (s *ShardedEngine) OnEventBatch(evs []Event) error {
 	return nil
 }
 
-func (s *ShardedEngine) dispatchShard(i int) {
-	if s.dShard != nil {
-		s.dShard.Batches.Inc()
-		s.dShard.Events.Add(uint64(len(s.pend[i])))
-		s.dShard.BatchSize.Observe(int64(len(s.pend[i])))
-		s.dShard.QueueDepth.Observe(int64(len(s.shardCh[i])))
+// nextBatch returns a recycled batch slice, or a fresh one when the free
+// list is empty (cold start, or workers still holding batches).
+func (s *ShardedEngine) nextBatch() []Event {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return make([]Event, 0, s.bsz)
 	}
+}
+
+func (s *ShardedEngine) dispatchShard(i int) {
+	s.rings[i].recordDispatch(s.dShard, len(s.pend[i]))
 	s.inflight.Add(1)
-	s.shardCh[i] <- s.pend[i]
-	s.pend[i] = make([]Event, 0, s.bsz)
+	s.rings[i].push(s.pend[i])
+	s.pend[i] = s.nextBatch()
 }
 
 func (s *ShardedEngine) dispatchGlobal() {
-	if s.dGlobal != nil {
-		s.dGlobal.Batches.Inc()
-		s.dGlobal.Events.Add(uint64(len(s.gpend)))
-		s.dGlobal.BatchSize.Observe(int64(len(s.gpend)))
-		s.dGlobal.QueueDepth.Observe(int64(len(s.globalCh)))
-	}
+	s.gring.recordDispatch(s.dGlobal, len(s.gpend))
 	s.inflight.Add(1)
-	s.globalCh <- s.gpend
-	s.gpend = make([]Event, 0, s.bsz)
+	s.gring.push(s.gpend)
+	s.gpend = s.nextBatch()
 }
 
 // Flush dispatches every pending batch and blocks until all workers are
-// idle, establishing the barrier readers need for a consistent view.
+// idle, establishing the barrier readers need for a consistent view. The
+// routing lock is held for the duration, so concurrent producers are
+// serialized against the barrier.
 func (s *ShardedEngine) Flush() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *ShardedEngine) flushLocked() error {
 	for i := range s.pend {
 		if len(s.pend[i]) > 0 {
 			s.dispatchShard(i)
@@ -398,18 +444,17 @@ func (s *ShardedEngine) Flush() error {
 // Close flushes, stops the workers, and waits for them to exit. It is
 // idempotent.
 func (s *ShardedEngine) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.pmu.Lock()
+	if s.closed.Swap(true) {
+		s.pmu.Unlock()
 		return s.Err()
 	}
-	s.closed = true
-	s.mu.Unlock()
-	err := s.Flush()
-	for _, ch := range s.shardCh {
-		close(ch)
+	err := s.flushLocked()
+	for _, r := range s.rings {
+		r.close()
 	}
-	close(s.globalCh)
+	s.gring.close()
+	s.pmu.Unlock()
 	s.workers.Wait()
 	return err
 }

@@ -27,7 +27,7 @@ package runtime
 // A map may use packed storage only if every access site in the program
 // (statement target keys, lookup keys, loop bounds) compiles to a
 // never-null int kernel. The engine builds optimistically — every map with
-// all-int keys of arity 1 or 2 starts packed — and any statement that
+// all-int keys of arity 1 to 4 starts packed — and any statement that
 // cannot prove an access demotes the map and triggers a rebuild with that
 // map banned; the loop terminates because each restart bans at least one
 // map.
@@ -504,6 +504,18 @@ func (tc *tcompiler) compileUpdate(target *Map, keys []texpr) (func(*cenv, float
 		return func(env *cenv, d float64) {
 			target.addI2([2]uint64{uint64(k0(env)), uint64(k1(env))}, d)
 		}, nil
+	case storeI3, storeI4:
+		ks := tc.intKeys(target.Name(), keys)
+		if ks == nil {
+			return func(*cenv, float64) {}, nil
+		}
+		return func(env *cenv, d float64) {
+			var k [4]uint64
+			for i, fn := range ks {
+				k[i] = uint64(fn(env))
+			}
+			target.addIN(k, d)
+		}, nil
 	}
 	fillers := make([]valFn, len(keys))
 	for i, k := range keys {
@@ -528,6 +540,8 @@ func (tc *tcompiler) compileLoop(lp ir.Loop, pos []int, bounds []texpr, body stm
 		return tc.compileLoopI1(m, lp, pos, bounds, body)
 	case storeI2:
 		return tc.compileLoopI2(m, lp, pos, bounds, body)
+	case storeI3, storeI4:
+		return tc.compileLoopIN(m, lp, pos, bounds, body)
 	}
 	return tc.compileLoopGeneric(m, lp, pos, bounds, body)
 }
@@ -654,6 +668,81 @@ func (tc *tcompiler) compileLoopI2(m *Map, lp ir.Loop, pos []int, bounds []texpr
 	}
 	return func(env *cenv) {
 		for k, v := range m.i2 {
+			emit(env, k, v)
+		}
+	}, nil
+}
+
+// compileLoopIN iterates a three- or four-int-key packed map: a point
+// probe when every position is bound, a packed slice bucket (or filtered
+// scan under NoSliceIndex) for a partial binding, and a full scan
+// otherwise. Bound keys are zero-padded full-width arrays, matching the
+// iNSlice bucket keying.
+func (tc *tcompiler) compileLoopIN(m *Map, lp ir.Loop, pos []int, bounds []texpr, body stmtFn) (stmtFn, error) {
+	frees, valSlot, err := tc.loopSlots(lp)
+	if err != nil {
+		return nil, err
+	}
+	arity := m.kind.pkArity()
+	emit := func(env *cenv, k [4]uint64, v float64) {
+		for i := 0; i < arity; i++ {
+			if frees[i] >= 0 {
+				env.ints[frees[i]] = int64(k[i])
+			}
+		}
+		if valSlot >= 0 {
+			env.floats[valSlot] = v
+		}
+		body(env)
+	}
+	bs := tc.intKeys(m.Name(), bounds)
+	if len(bounds) > 0 && bs == nil {
+		return func(*cenv) {}, nil
+	}
+	fillBound := func(env *cenv) [4]uint64 {
+		var bk [4]uint64
+		for i, fn := range bs {
+			bk[pos[i]] = uint64(fn(env))
+		}
+		return bk
+	}
+	switch {
+	case len(pos) == arity:
+		return func(env *cenv) {
+			k := fillBound(env)
+			if v, ok := m.iN[k]; ok {
+				emit(env, k, v)
+			}
+		}, nil
+	case len(pos) > 0:
+		if !tc.e.opts.NoSliceIndex {
+			slice := m.ensureINSlice(pos)
+			return func(env *cenv) {
+				if b, ok := slice.buckets[fillBound(env)]; ok {
+					for k, v := range b {
+						emit(env, k, v)
+					}
+				}
+			}, nil
+		}
+		return func(env *cenv) {
+			want := fillBound(env)
+			for k, v := range m.iN {
+				match := true
+				for _, p := range pos {
+					if k[p] != want[p] {
+						match = false
+						break
+					}
+				}
+				if match {
+					emit(env, k, v)
+				}
+			}
+		}, nil
+	}
+	return func(env *cenv) {
+		for k, v := range m.iN {
 			emit(env, k, v)
 		}
 	}, nil
@@ -809,6 +898,18 @@ func (tc *tcompiler) compileLookup(x *ir.Lookup) (texpr, error) {
 		k0, k1 := ks[0], ks[1]
 		return texpr{cls: clsFloat, ffn: func(env *cenv) float64 {
 			return m.i2[[2]uint64{uint64(k0(env)), uint64(k1(env))}]
+		}}, nil
+	case storeI3, storeI4:
+		ks := tc.intKeys(m.Name(), keys)
+		if ks == nil {
+			return texpr{cls: clsFloat, ffn: func(*cenv) float64 { return 0 }}, nil
+		}
+		return texpr{cls: clsFloat, ffn: func(env *cenv) float64 {
+			var k [4]uint64
+			for i, fn := range ks {
+				k[i] = uint64(fn(env))
+			}
+			return m.iN[k]
 		}}, nil
 	}
 	fillers := make([]valFn, len(keys))

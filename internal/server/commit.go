@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/wal"
+)
+
+// Group commit. Every accepted delta — INSERT, DELETE, or BATCH, from any
+// connection — flows through a single committer goroutine instead of
+// appending to the WAL and applying to the engines under the server lock
+// inline. Concurrent connections that arrive while a group is in flight
+// coalesce into the next group: one WAL write (and one fsync when -wal-sync
+// is set) covers all of them, and each producer is acknowledged only after
+// its events' sequence numbers are durable and applied. This turns the
+// fsync cost from per-connection into per-group while keeping the
+// write-ahead invariant per producer.
+//
+// Ordering: the committer appends groups to the WAL and applies them to
+// the engines in the same arrival order, so WAL sequence numbers always
+// match apply order and recovery replays the exact live history. The
+// s.ingest mutex spans append→apply and is shared with Checkpoint, so a
+// checkpoint can never capture a WAL watermark covering events that have
+// not reached the engines (which recovery would then skip, losing them).
+
+// commitReq is one producer's pending contribution to a commit group.
+type commitReq struct {
+	evs  []stream.Event
+	err  error // per-request apply verdict, set by the committer
+	done chan error
+}
+
+// committer serializes ingest into coalesced commit groups.
+type committer struct {
+	mu       sync.Mutex
+	pending  []*commitReq
+	wake     chan struct{} // 1-buffered; a wake may cover many requests
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+func newCommitter() *committer {
+	return &committer{
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// startCommitter launches the commit loop; called once construction cannot
+// fail anymore, so Close always finds a committer to stop.
+func (s *Server) startCommitter() {
+	s.com = newCommitter()
+	go s.runCommitter()
+}
+
+// stopCommitter drains outstanding requests and stops the loop; it is
+// idempotent. Callers must first guarantee no new commit() calls (Close
+// drains connections before stopping).
+func (s *Server) stopCommitter() {
+	if s.com == nil {
+		return
+	}
+	s.com.stopOnce.Do(func() { close(s.com.stop) })
+	<-s.com.done
+}
+
+// commit hands a producer's events to the committer and blocks until the
+// group containing them is durable and applied. This is the only ingest
+// path; it replaces per-connection WAL appends under the server lock.
+func (s *Server) commit(evs []stream.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	req := &commitReq{evs: evs, done: make(chan error, 1)}
+	s.com.mu.Lock()
+	s.com.pending = append(s.com.pending, req)
+	s.com.mu.Unlock()
+	select {
+	case s.com.wake <- struct{}{}:
+	default:
+	}
+	return <-req.done
+}
+
+func (s *Server) runCommitter() {
+	defer close(s.com.done)
+	for {
+		select {
+		case <-s.com.wake:
+			s.commitPending()
+		case <-s.com.stop:
+			s.commitPending() // requests enqueued before the stop still ack
+			return
+		}
+	}
+}
+
+// commitPending repeatedly swaps out the pending slice and commits it as
+// one group, until no requests remain. Requests arriving mid-group land in
+// the next swap — that accumulation window is what coalesces concurrent
+// producers.
+func (s *Server) commitPending() {
+	for {
+		s.com.mu.Lock()
+		group := s.com.pending
+		s.com.pending = nil
+		s.com.mu.Unlock()
+		if len(group) == 0 {
+			return
+		}
+		s.commitGroup(group)
+	}
+}
+
+// commitGroup makes one group durable and applies it: a single WAL batch
+// append covering every request's events in arrival order (write-ahead for
+// the whole group — a WAL failure fails every producer before any engine
+// sees an event), then per-request engine application under the server
+// lock. Engine rejections are per-request: a logged-but-rejected event
+// replays to the same rejection during recovery, so recovered state still
+// matches live state.
+func (s *Server) commitGroup(group []*commitReq) {
+	s.ingest.Lock()
+	if s.wal != nil {
+		total := 0
+		for _, req := range group {
+			total += len(req.evs)
+		}
+		datas := make([][]byte, 0, total)
+		for _, req := range group {
+			for _, ev := range req.evs {
+				datas = append(datas, wal.AppendEvent(nil, ev.Relation, ev.Op == stream.Insert, ev.Args))
+			}
+		}
+		if _, err := s.wal.AppendBatch(datas); err != nil {
+			s.ingest.Unlock()
+			werr := fmt.Errorf("wal append: %w", err)
+			for _, req := range group {
+				req.done <- werr
+			}
+			return
+		}
+		if s.sink != nil {
+			ws := s.sink.WAL()
+			ws.GroupCommits.Inc()
+			ws.GroupSize.Observe(int64(len(group)))
+		}
+	}
+
+	s.mu.Lock()
+	applied := 0
+	for _, req := range group {
+		req.err = s.applyLocked(req.evs)
+		if req.err == nil {
+			s.events += uint64(len(req.evs))
+			applied += len(req.evs)
+		}
+	}
+	ckErr := s.maybeCheckpointLocked(applied)
+	s.mu.Unlock()
+	s.ingest.Unlock()
+
+	for _, req := range group {
+		err := req.err
+		if err == nil {
+			err = ckErr
+		}
+		req.done <- err
+	}
+}
+
+// applyLocked feeds one request's events to every registered query.
+// Caller holds s.mu.
+func (s *Server) applyLocked(evs []stream.Event) error {
+	if len(evs) == 1 {
+		for _, name := range s.order {
+			if err := s.queries[name].toaster.OnEvent(evs[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, name := range s.order {
+		if err := s.queries[name].toaster.OnEventBatch(evs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -167,31 +167,6 @@ func (s *Server) runRecovery() (wal.RecoveryInfo, error) {
 		})
 }
 
-// logEventLocked appends one delta to the WAL (no-op when durability is
-// off). Caller holds s.mu; the append happens before the engines apply,
-// so an acknowledged event is always recoverable.
-func (s *Server) logEventLocked(ev stream.Event) error {
-	if s.wal == nil {
-		return nil
-	}
-	s.walBuf = wal.AppendEvent(s.walBuf[:0], ev.Relation, ev.Op == stream.Insert, ev.Args)
-	_, err := s.wal.Append(s.walBuf)
-	return err
-}
-
-// logBatchLocked appends a batch in one WAL write. Caller holds s.mu.
-func (s *Server) logBatchLocked(evs []stream.Event) error {
-	if s.wal == nil || len(evs) == 0 {
-		return nil
-	}
-	datas := make([][]byte, len(evs))
-	for i, ev := range evs {
-		datas[i] = wal.AppendEvent(nil, ev.Relation, ev.Op == stream.Insert, ev.Args)
-	}
-	_, err := s.wal.AppendBatch(datas)
-	return err
-}
-
 // maybeCheckpointLocked takes an automatic checkpoint when the configured
 // event cadence has elapsed. Caller holds s.mu.
 func (s *Server) maybeCheckpointLocked(applied int) error {
@@ -218,8 +193,15 @@ func (s *Server) checkpointLocked() (gen, watermark uint64, err error) {
 }
 
 // Checkpoint captures all query state through the current WAL watermark
-// and rotates the log. Exposed over the protocol as CHECKPOINT.
+// and rotates the log. Exposed over the protocol as CHECKPOINT. It takes
+// the ingest lock before the server lock (the order the committer uses):
+// a commit group's WAL append and engine application are atomic with
+// respect to the checkpoint, so the captured watermark never covers
+// events the engines have not applied — recovery would skip those
+// sequence numbers and lose them.
 func (s *Server) Checkpoint() (gen, watermark uint64, err error) {
+	s.ingest.Lock()
+	defer s.ingest.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.checkpointLocked()

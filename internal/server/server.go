@@ -3,7 +3,10 @@
 // standing query and read the maintained views (the paper's "standalone
 // query processor accepting input over a network interface"). One compiled
 // engine serves all connections; events from concurrent clients are
-// serialized, matching the single-stream execution model.
+// serialized through a group-commit stage (see commit.go) that coalesces
+// concurrent WAL appends into one write per group while preserving the
+// single-stream execution model — engines always apply in WAL sequence
+// order.
 //
 // Protocol (one command per line, '|'-separated values):
 //
@@ -95,9 +98,16 @@ type Server struct {
 	ln      net.Listener
 	wg      sync.WaitGroup
 
+	// ingest orders WAL appends against engine application and
+	// checkpoints: the committer holds it across append→apply, and
+	// Checkpoint acquires it (before mu — that order everywhere) so a
+	// checkpoint watermark can never cover unapplied events. com is the
+	// group-commit stage all ingest flows through; see commit.go.
+	ingest sync.Mutex
+	com    *committer
+
 	// Durability state (nil/zero when WALDir is unset).
 	wal        *wal.Manager
-	walBuf     []byte
 	ckptEvery  uint64
 	sinceCkpt  uint64
 	recovery   *wal.RecoveryInfo
@@ -168,6 +178,8 @@ func NewWithOptions(sqlText string, cat *schema.Catalog, opts Options) (*Server,
 			s.recovery = &info
 		}
 	}
+	// Construction can no longer fail; start the group-commit stage.
+	s.startCommitter()
 	return s, nil
 }
 
@@ -254,14 +266,15 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener, waits for connections to drain, and shuts
-// down any engines with worker goroutines.
+// Close stops the listener, waits for connections to drain, stops the
+// group-commit stage, and shuts down any engines with worker goroutines.
 func (s *Server) Close() error {
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
+	s.stopCommitter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, name := range s.order {
@@ -313,39 +326,19 @@ func (s *Server) handleSafe(sc *bufio.Scanner, w *bufio.Writer, line string) (qu
 	return s.handle(sc, w, line)
 }
 
-// applyEvent feeds one delta to every registered query under the lock,
-// logging it to the WAL first (write-ahead: an acknowledged event is
-// always recoverable; a logged-but-rejected event replays to the same
-// rejection, so recovered state matches live state either way).
+// applyEvent routes one delta through the group-commit stage: it is
+// logged (write-ahead, coalesced with concurrent connections into one WAL
+// write) and applied to every registered query before the call returns.
+// An acknowledged event is always recoverable; a logged-but-rejected
+// event replays to the same rejection, so recovered state matches live
+// state either way.
 func (s *Server) applyEvent(ev stream.Event) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logEventLocked(ev); err != nil {
-		return err
-	}
-	for _, name := range s.order {
-		if err := s.queries[name].toaster.OnEvent(ev); err != nil {
-			return err
-		}
-	}
-	s.events++
-	return s.maybeCheckpointLocked(1)
+	return s.commit([]stream.Event{ev})
 }
 
-// applyBatch feeds a batch to every registered query under the lock.
+// applyBatch routes a batch through the group-commit stage as one unit.
 func (s *Server) applyBatch(evs []stream.Event) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logBatchLocked(evs); err != nil {
-		return err
-	}
-	for _, name := range s.order {
-		if err := s.queries[name].toaster.OnEventBatch(evs); err != nil {
-			return err
-		}
-	}
-	s.events += uint64(len(evs))
-	return s.maybeCheckpointLocked(len(evs))
+	return s.commit(evs)
 }
 
 // resultOf assembles a query's current answer under the lock.

@@ -22,6 +22,15 @@ echo "== metrics overhead smoke ==" && sh scripts/metrics_smoke.sh
 echo "== crash recovery ==" && go test ./internal/wal/ -run 'TestCrashRecoveryFaultMatrix|TestDoubleCrashRecovery' -count=1
 bash scripts/crash_smoke.sh
 
+# Pipeline smoke at real parallelism: the concurrent-producer and
+# group-commit paths (SPSC rings, sticky errors, WAL group commit) with
+# GOMAXPROCS forced to at least 4, so ring parking, producer stalls, and
+# commit coalescing run multi-core even when the default would be 1.
+echo "== pipeline smoke (GOMAXPROCS=4) ==" && GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestConcurrentProducers|TestStickyError|TestShardedMatchesSingleThreaded' ./internal/runtime/
+GOMAXPROCS=4 go test -race -count=1 -run 'TestConcurrentBatchesGroupCommitAndRecover' ./internal/server/
+GOMAXPROCS=4 go test -run xxx -bench '^BenchmarkShardScaling/' -benchtime 100x .
+
 # Qgen differential + fuzz smoke: seeded random queries over the widened
 # SQL surface (AVG, EXISTS/IN, LEFT OUTER JOIN) must agree bitwise across
 # the typed, generic, and sharded engines and the re-evaluating oracle,
