@@ -5,7 +5,9 @@
 #                  the concurrent sharded runtime (internal/runtime,
 #                  internal/engine, internal/server)
 #   make bench   — the hot-path benchmark harness; writes
-#                  BENCH_hotpath.json (ns/op, B/op, allocs/op)
+#                  BENCH_hotpath.json (ns/op, B/op, allocs/op) and
+#                  BENCH_registry.json (dynamic-registration latency
+#                  percentiles, compile time, catch-up volume)
 #   make scaling — multi-core scaling curves for the ring-based sharded
 #                  dispatcher at GOMAXPROCS 1/2/4/8; writes
 #                  BENCH_shards.json (ns/op per core count + speedups)
@@ -28,6 +30,7 @@ race:
 
 bench:
 	scripts/bench.sh
+	SUITE=registry scripts/bench.sh
 
 scaling:
 	SUITE=shards scripts/bench.sh

@@ -32,7 +32,7 @@ func main() {
 		tables      = flag.String("tables", "", "semicolon-separated table specs")
 		addr        = flag.String("addr", "127.0.0.1:7077", "listen address")
 		shards      = flag.Int("shards", 0, "run queries on the sharded runtime with this many shard workers (0 = single-threaded)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json, /debug/vars, and /debug/pprof on this address (empty = no HTTP endpoint)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json, /trace.json, /debug/vars, and /debug/pprof on this address (empty = no HTTP endpoint)")
 		noMetrics   = flag.Bool("no-metrics", false, "disable instrumentation entirely (METRICS returns ERR)")
 		walDir      = flag.String("wal-dir", "", "write-ahead log directory: log every delta and support CHECKPOINT (empty = no durability)")
 		recover     = flag.Bool("recover", false, "rebuild state from -wal-dir at startup (newest valid checkpoint plus log tail)")

@@ -46,12 +46,17 @@ type Engine interface {
 
 // Result is a query answer: named columns and sorted rows.
 type Result struct {
+	// Query, when set, names the standing query the answer belongs to; a
+	// server hosting several registered queries sets it so rendered tables
+	// (and anything quoting their map names) are unambiguous.
+	Query   string
 	Columns []string
 	Rows    []types.Tuple
 }
 
 // String renders the result as an aligned table: every cell is padded to
-// its column's width, so values line up under their headers.
+// its column's width, so values line up under their headers. When Query is
+// set the table is prefixed with a "-- query: <name>" line.
 func (r *Result) String() string {
 	width := make([]int, len(r.Columns))
 	for i, c := range r.Columns {
@@ -69,6 +74,11 @@ func (r *Result) String() string {
 		}
 	}
 	var b strings.Builder
+	if r.Query != "" {
+		b.WriteString("-- query: ")
+		b.WriteString(r.Query)
+		b.WriteByte('\n')
+	}
 	writeRow := func(parts []string) {
 		for i, s := range parts {
 			if i > 0 {

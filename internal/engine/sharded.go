@@ -156,6 +156,14 @@ func (t *ShardedToaster) MemEntries() int {
 	return n
 }
 
+// MapStats reports per-map storage statistics across all workers.
+func (t *ShardedToaster) MapStats() []runtime.MemStats {
+	if err := t.rt.Flush(); err != nil {
+		return nil
+	}
+	return t.rt.MemStats()
+}
+
 // Results implements Engine: it flushes the dispatcher (the barrier that
 // makes the merged view consistent) and assembles the answer.
 func (t *ShardedToaster) Results() (*Result, error) {

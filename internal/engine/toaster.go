@@ -49,6 +49,13 @@ func NewToaster(q *Query, opts runtime.Options) (*Toaster, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewToasterCompiled(q, comp, opts)
+}
+
+// NewToasterCompiled builds a Toaster from an existing compilation
+// artifact. The registry's hot-swap path uses it to rebuild a caught-up
+// engine (transferring map state via opts.MapSource) without recompiling.
+func NewToasterCompiled(q *Query, comp *compiler.Compiled, opts runtime.Options) (*Toaster, error) {
 	rt, err := runtime.NewEngine(comp.Program, opts)
 	if err != nil {
 		return nil, err
@@ -109,14 +116,24 @@ func (t *Toaster) OnEventBatch(evs []stream.Event) error {
 	return nil
 }
 
-// MemEntries implements Engine.
+// MemEntries implements Engine. Maps adopted from another query are not
+// counted: their entries belong to the owning engine's footprint, and
+// counting them per borrower would hide exactly the sharing the registry
+// exists to provide.
 func (t *Toaster) MemEntries() int {
 	n := 0
 	for _, s := range t.rt.MemStats() {
+		if s.Shared {
+			continue
+		}
 		n += s.Entries
 	}
 	return n
 }
+
+// MapStats reports per-map storage statistics (including adopted maps,
+// flagged Shared) for the server's STATS body.
+func (t *Toaster) MapStats() []runtime.MemStats { return t.rt.MemStats() }
 
 // Results implements Engine.
 func (t *Toaster) Results() (*Result, error) {

@@ -120,6 +120,7 @@ func (h *HTTPServer) Close() error { return h.srv.Close() }
 //
 //	/metrics        Prometheus text format
 //	/metrics.json   full Snapshot as JSON
+//	/trace.json     drains the structured trigger-firing trace ring
 //	/debug/vars     expvar (includes a "dbtoaster" var with the snapshot)
 //	/debug/pprof/   the standard pprof handlers
 //
@@ -139,6 +140,14 @@ func Serve(addr string, sink *Sink) (*HTTPServer, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(sink.Snapshot())
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Draining: each GET returns records buffered since the last
+		// drain (the ring holds at most TraceRingSize).
+		enc.Encode(sink.Trace())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

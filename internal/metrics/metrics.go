@@ -328,6 +328,12 @@ type Sink struct {
 	workers   []*WorkerApplyStats
 	workerIdx map[string]*WorkerApplyStats
 	wal       *WALStats
+	queries   []*QueryStats
+	queryIdx  map[string]*QueryStats
+
+	// trace is the structured sample export ring (see query.go); it has
+	// its own lock because records arrive on the sampled hot path.
+	trace traceRing
 }
 
 // New creates a Sink with default configuration.
@@ -347,6 +353,7 @@ func NewWithConfig(cfg Config) *Sink {
 		trigIdx:    map[string]*TriggerStats{},
 		mapIdx:     map[string]*MapStats{},
 		workerIdx:  map[string]*WorkerApplyStats{},
+		queryIdx:   map[string]*QueryStats{},
 	}
 }
 
@@ -481,6 +488,12 @@ func (s *Sink) Reset() {
 	for _, m := range maps {
 		m.Peak.Set(m.Entries.Load())
 	}
+	// Query lifecycle gauges (compile time, catch-up size) are registration
+	// facts, not stream rates — they survive Reset. The trace ring holds
+	// stream history and is cleared.
+	s.trace.mu.Lock()
+	s.trace.buf = [TraceRingSize]TraceEvent{}
+	s.trace.mu.Unlock()
 	for _, w := range workers {
 		w.Batches.Reset()
 		w.Events.Reset()
@@ -591,6 +604,7 @@ type Snapshot struct {
 	Global         *DispatchSnapshot     `json:"global_dispatch,omitempty"`
 	Workers        []WorkerApplySnapshot `json:"worker_apply,omitempty"`
 	WAL            *WALSnapshot          `json:"wal,omitempty"`
+	Queries        []QuerySnapshot       `json:"queries,omitempty"`
 	Heap           HeapSnapshot          `json:"heap"`
 }
 
@@ -618,6 +632,7 @@ func (s *Sink) Snapshot() *Snapshot {
 	triggers := append([]*TriggerStats(nil), s.triggers...)
 	maps := append([]*MapStats(nil), s.maps...)
 	workers := append([]*WorkerApplyStats(nil), s.workers...)
+	queries := append([]*QueryStats(nil), s.queries...)
 	shard, global, wal := s.shard, s.global, s.wal
 	s.mu.Unlock()
 	snap := &Snapshot{
@@ -696,6 +711,14 @@ func (s *Sink) Snapshot() *Snapshot {
 		}
 		return a.Worker < b.Worker
 	})
+	for _, q := range queries {
+		snap.Queries = append(snap.Queries, QuerySnapshot{
+			Label:          q.Label,
+			CompileSeconds: float64(q.CompileNs.Load()) / 1e9,
+			CatchupEvents:  q.CatchupEvents.Load(),
+		})
+	}
+	sort.Slice(snap.Queries, func(i, j int) bool { return snap.Queries[i].Label < snap.Queries[j].Label })
 	if wal != nil {
 		snap.WAL = &WALSnapshot{
 			Appends:         wal.Appends.Load(),
@@ -750,6 +773,10 @@ func (s *Snapshot) Lines() []string {
 		}
 		out = append(out, fmt.Sprintf("map %s %s entries=%d peak=%d approx_bytes=%d layout=%s",
 			label, m.Name, m.Entries, m.Peak, m.ApproxBytes, m.Layout))
+	}
+	for _, q := range s.Queries {
+		out = append(out, fmt.Sprintf("query %s compile_seconds=%.6f catchup_events=%d",
+			q.Label, q.CompileSeconds, q.CatchupEvents))
 	}
 	writeDispatch := func(kind string, d *DispatchSnapshot) {
 		if d == nil {

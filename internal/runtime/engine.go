@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -40,10 +41,29 @@ type Options struct {
 	// (sink, label) pair should describe one logical engine — the sharded
 	// runtime exploits this to merge its workers' series.
 	MetricsLabel string
+	// MapSource, when non-nil, supplies pre-built map instances at engine
+	// construction instead of fresh empty ones — the mechanism behind both
+	// hot-swap (a caught-up engine's maps transfer into the final build)
+	// and cross-query map sharing (a borrower adopts another engine's
+	// map). For each map name it may offer a Shared candidate (an instance
+	// maintained by another engine: the new engine reads it but suppresses
+	// every statement that would write it) and/or a Transfer instance (the
+	// new engine takes it over, state included, and maintains it).
+	// Candidates whose physical layout does not match what this build
+	// selects are declined — Shared falls back to Transfer, Transfer to a
+	// fresh map; a declined Transfer on a converged build is an error,
+	// since silently dropping its state would be data loss.
+	MapSource func(name string) SourcedMap
 	// worker marks engines owned by a sharded dispatcher: they record
 	// trigger and map series into the shared sink but not admission
 	// counts, which the dispatcher already counted.
 	worker bool
+}
+
+// SourcedMap is one MapSource offer; nil fields mean no candidate.
+type SourcedMap struct {
+	Shared   *Map // adoption candidate maintained by another engine
+	Transfer *Map // instance this engine takes over and maintains
 }
 
 // sink returns the effective metrics sink (nil when disabled).
@@ -80,11 +100,24 @@ type Engine struct {
 	intPos map[string][]bool
 	// sink is the effective metrics sink (nil when instrumentation is off).
 	sink *metrics.Sink
+	// adopted marks maps supplied as Shared candidates by Options.MapSource:
+	// another engine owns and maintains them, this engine only reads them,
+	// and statements targeting them are compiled but not executed.
+	adopted map[string]bool
+	// declined lists Transfer candidates whose physical layout did not match
+	// this build's selection; non-empty after convergence is a construction
+	// error (accepting it would silently drop the transferred state).
+	declined []string
 }
 
 type compiledTrigger struct {
-	trig  *ir.Trigger
-	fns   []stmtFn // closure mode
+	trig *ir.Trigger
+	// stmts are the statements this engine executes: the trigger's list
+	// minus statements targeting adopted (shared) maps, which their owner
+	// already runs. Every statement is still compiled — typed-mode demote
+	// decisions must not depend on who owns a map — and then dropped here.
+	stmts []*ir.Stmt
+	fns   []stmtFn // closure mode, parallel to stmts
 	env   *cenv    // reusable environment (closure mode)
 	ienv  map[string]types.Value
 	slots map[string]int
@@ -124,6 +157,9 @@ func NewEngine(prog *ir.Program, opts Options) (*Engine, error) {
 			return nil, err
 		}
 		if len(e.demote) == 0 {
+			if len(e.declined) > 0 {
+				return nil, fmt.Errorf("runtime: sourced maps %v do not match the converged layout", e.declined)
+			}
 			return e, nil
 		}
 		progress := false
@@ -183,19 +219,42 @@ func newEngine(prog *ir.Program, opts Options, banned map[string]bool) (*Engine,
 		trigDel:  make(map[string]*compiledTrigger),
 		demote:   map[string]bool{},
 		sink:     opts.sink(),
+		adopted:  map[string]bool{},
 	}
 	typed := opts.typedMode()
 	if typed {
 		e.intPos = guaranteedIntPositions(prog)
 	}
 	for _, name := range prog.MapOrder {
+		decl := prog.Maps[name]
 		kind := storeGeneric
 		if typed {
-			kind = mapLayout(prog.Maps[name], banned, e.intPos)
+			kind = mapLayout(decl, banned, e.intPos)
 		}
-		m := newMapWithKind(prog.Maps[name], kind)
-		if e.sink != nil {
+		var m *Map
+		if opts.MapSource != nil {
+			src := opts.MapSource(name)
+			if s := src.Shared; s != nil && s.kind == kind && s.decl.Sorted == decl.Sorted && len(s.decl.Keys) == len(decl.Keys) {
+				m = s
+				e.adopted[name] = true
+			} else if t := src.Transfer; t != nil {
+				if t.kind == kind {
+					m = t
+				} else {
+					e.declined = append(e.declined, name)
+				}
+			}
+		}
+		if m == nil {
+			m = newMapWithKind(decl, kind)
+		}
+		if e.sink != nil && !e.adopted[name] {
+			// Adopted maps keep the owner's gauges (the bytes are the owner's
+			// to report); transferred maps switch to this engine's label, with
+			// the gauges re-synced to the carried-over state.
 			m.gauges = e.sink.Map(opts.MetricsLabel, name, m.kind.String())
+			m.gauges.Entries.Set(int64(m.Len()))
+			m.gauges.Peak.MaxTo(int64(m.peak))
 		}
 		e.maps[name] = m
 	}
@@ -265,12 +324,26 @@ func (e *Engine) Map(name string) *Map { return e.maps[name] }
 // Events returns the number of processed events.
 func (e *Engine) Events() uint64 { return e.events }
 
-// MemStats reports per-map footprints.
+// MemStats reports per-map footprints. Adopted maps are flagged Shared:
+// their bytes belong to the owning engine's report.
 func (e *Engine) MemStats() []MemStats {
 	out := make([]MemStats, 0, len(e.prog.MapOrder))
 	for _, name := range e.prog.MapOrder {
-		out = append(out, e.maps[name].Stats())
+		st := e.maps[name].Stats()
+		st.Shared = e.adopted[name]
+		out = append(out, st)
 	}
+	return out
+}
+
+// SharedMaps lists the maps this engine adopted from Options.MapSource
+// Shared candidates (owned and maintained by another engine), sorted.
+func (e *Engine) SharedMaps() []string {
+	out := make([]string, 0, len(e.adopted))
+	for name := range e.adopted {
+		out = append(out, name)
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -305,7 +378,11 @@ func (e *Engine) OnEvent(rel string, insert bool, args types.Tuple) error {
 	if e.sink.Sampled(st.Count.Inc()) {
 		start := time.Now()
 		err := e.fire(ct, args)
-		st.Latency.Observe(int64(time.Since(start)))
+		lat := int64(time.Since(start))
+		st.Latency.Observe(lat)
+		// The sampled path also feeds the structured trace ring: same
+		// clock reads, one extra (per-sample, not per-event) ring write.
+		e.sink.RecordTrace(e.opts.MetricsLabel, ct.trig.Relation, ct.trig.Insert, lat, start.UnixNano())
 		if err != nil {
 			st.Errors.Inc()
 		}
@@ -349,7 +426,7 @@ func (e *Engine) fire(ct *compiledTrigger, args types.Tuple) error {
 		for i, p := range ct.trig.Params {
 			ct.ienv[p] = args[i]
 		}
-		for _, s := range ct.trig.Stmts {
+		for _, s := range ct.stmts {
 			s := s
 			run := func() error { return e.interpStmt(s, ct.ienv) }
 			var err error
@@ -447,7 +524,11 @@ func (e *Engine) compileTrigger(t *ir.Trigger) (*compiledTrigger, error) {
 		if n = len(local); n > maxSlots {
 			maxSlots = n
 		}
+		if e.adopted[s.Target] {
+			continue
+		}
 		ct.fns = append(ct.fns, fn)
+		ct.stmts = append(ct.stmts, s)
 	}
 	ct.env = &cenv{slots: make([]types.Value, maxSlots)}
 	ct.slots = slots

@@ -519,9 +519,6 @@ func (m *Map) EnsureSlice(positions []int) *sliceIndex {
 			return s
 		}
 	}
-	if m.Len() > 0 {
-		panic("runtime: EnsureSlice after entries exist")
-	}
 	s := &sliceIndex{positions: append([]int{}, positions...)}
 	switch m.kind {
 	case storeI3, storeI4:
@@ -550,6 +547,26 @@ func (m *Map) EnsureSlice(positions []int) *sliceIndex {
 		s.owner = m
 	default:
 		s.buckets = make(map[types.Key]map[types.Key]*entry)
+	}
+	// Backfill from existing entries: indexes are normally registered at
+	// engine construction before data arrives, but an engine adopting a
+	// populated shared map (or taking over a caught-up one) may need an
+	// index the previous owner never used.
+	if m.Len() > 0 {
+		switch {
+		case s.typedN != nil:
+			for k, v := range m.iN {
+				s.typedN.set(k, v)
+			}
+		case s.typed != nil:
+			for k, v := range m.i2 {
+				s.typed.set(k, v)
+			}
+		case s.buckets != nil:
+			for _, e := range m.entries {
+				s.insert(e)
+			}
+		}
 	}
 	m.slices = append(m.slices, s)
 	return s
@@ -688,6 +705,9 @@ type MemStats struct {
 	Sorted  bool
 	// Layout is the physical storage layout ("int1".."int4", "generic").
 	Layout string
+	// Shared marks a map adopted from another engine: its bytes are owned
+	// (and reported) by that engine, so footprint sums must skip it.
+	Shared bool
 }
 
 // Stats reports the map's footprint and update count.

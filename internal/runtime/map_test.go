@@ -83,7 +83,7 @@ func TestSliceIndexMaintained(t *testing.T) {
 	s.Iterate(k(9), func(types.Tuple, float64) { t.Error("phantom bucket") })
 }
 
-func TestEnsureSliceIdempotentAndLatePanic(t *testing.T) {
+func TestEnsureSliceIdempotentAndLateBackfill(t *testing.T) {
 	m := newTestMap(false, "k0", "k1")
 	a := m.EnsureSlice([]int{1})
 	b := m.EnsureSlice([]int{1})
@@ -91,12 +91,23 @@ func TestEnsureSliceIdempotentAndLatePanic(t *testing.T) {
 		t.Error("duplicate slice created")
 	}
 	m.Add(k(1, 2), 1)
-	defer func() {
-		if recover() == nil {
-			t.Error("EnsureSlice after data should panic")
-		}
-	}()
-	m.EnsureSlice([]int{0})
+	m.Add(k(3, 2), 4)
+	m.Add(k(3, 7), 9)
+	// A slice registered after data arrives (an engine adopting a populated
+	// shared map, or taking over a caught-up transfer) backfills from the
+	// existing entries and stays live for later updates.
+	late := m.EnsureSlice([]int{0})
+	var sum float64
+	late.Iterate(k(3), func(_ types.Tuple, v float64) { sum += v })
+	if sum != 13 {
+		t.Errorf("late slice backfill sum = %v, want 13", sum)
+	}
+	m.Add(k(3, 9), 2)
+	sum = 0
+	late.Iterate(k(3), func(_ types.Tuple, v float64) { sum += v })
+	if sum != 15 {
+		t.Errorf("late slice after update sum = %v, want 15", sum)
+	}
 }
 
 func TestSortedMirrorConsistency(t *testing.T) {

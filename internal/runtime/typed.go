@@ -281,7 +281,13 @@ func (e *Engine) compileTriggerTyped(t *ir.Trigger) (*compiledTrigger, error) {
 		if n := len(local); n > maxSlots {
 			maxSlots = n
 		}
+		// Statements writing adopted (shared) maps are compiled — so demote
+		// decisions stay independent of ownership — but never executed.
+		if e.adopted[s.Target] {
+			continue
+		}
 		ct.fns = append(ct.fns, fn)
+		ct.stmts = append(ct.stmts, s)
 	}
 	ct.env = &cenv{
 		slots:  make([]types.Value, maxSlots),

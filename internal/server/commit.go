@@ -25,9 +25,16 @@ import (
 // checkpoint can never capture a WAL watermark covering events that have
 // not reached the engines (which recovery would then skip, losing them).
 
-// commitReq is one producer's pending contribution to a commit group.
+// commitReq is one producer's pending contribution to a commit group, or —
+// when ctrl is set — a control operation (query registration swap,
+// unregistration, recovery-sensitive maintenance) that must execute at a
+// definite point in the ingest order: every event committed before it is
+// applied first, every event after it waits. Control operations run under
+// both the ingest and server locks, so they observe a quiescent engine set
+// and may replace it.
 type commitReq struct {
 	evs  []stream.Event
+	ctrl func() error
 	err  error // per-request apply verdict, set by the committer
 	done chan error
 }
@@ -102,7 +109,9 @@ func (s *Server) runCommitter() {
 // commitPending repeatedly swaps out the pending slice and commits it as
 // one group, until no requests remain. Requests arriving mid-group land in
 // the next swap — that accumulation window is what coalesces concurrent
-// producers.
+// producers. Control operations split the swapped slice: events before a
+// control op commit as their own group first, then the op runs alone, then
+// the remainder — arrival order is the ingest order either side of the op.
 func (s *Server) commitPending() {
 	for {
 		s.com.mu.Lock()
@@ -112,8 +121,57 @@ func (s *Server) commitPending() {
 		if len(group) == 0 {
 			return
 		}
-		s.commitGroup(group)
+		for len(group) > 0 {
+			cut := len(group)
+			for i, req := range group {
+				if req.ctrl != nil {
+					cut = i
+					break
+				}
+			}
+			if cut > 0 {
+				s.commitGroup(group[:cut])
+				group = group[cut:]
+				continue
+			}
+			s.runCtrl(group[0])
+			group = group[1:]
+		}
 	}
+}
+
+// runCtrl executes one control operation under the same lock order as a
+// commit group (ingest, then the server lock), so it observes every prior
+// event applied and no later event started.
+func (s *Server) runCtrl(req *commitReq) {
+	s.ingest.Lock()
+	s.mu.Lock()
+	err := req.ctrl()
+	s.mu.Unlock()
+	s.ingest.Unlock()
+	req.done <- err
+}
+
+// control runs op at a definite point in the ingest order (see commitReq).
+// Before the committer starts — construction and recovery are
+// single-threaded — it runs op inline under the same locks.
+func (s *Server) control(op func() error) error {
+	if s.com == nil {
+		s.ingest.Lock()
+		defer s.ingest.Unlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return op()
+	}
+	req := &commitReq{ctrl: op, done: make(chan error, 1)}
+	s.com.mu.Lock()
+	s.com.pending = append(s.com.pending, req)
+	s.com.mu.Unlock()
+	select {
+	case s.com.wake <- struct{}{}:
+	default:
+	}
+	return <-req.done
 }
 
 // commitGroup makes one group durable and applies it: a single WAL batch
@@ -173,21 +231,11 @@ func (s *Server) commitGroup(group []*commitReq) {
 	}
 }
 
-// applyLocked feeds one request's events to every registered query.
-// Caller holds s.mu.
+// applyLocked feeds one request's events to every live query via the
+// registry fan-out. Caller holds s.mu.
 func (s *Server) applyLocked(evs []stream.Event) error {
 	if len(evs) == 1 {
-		for _, name := range s.order {
-			if err := s.queries[name].toaster.OnEvent(evs[0]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return s.reg.OnEvent(evs[0])
 	}
-	for _, name := range s.order {
-		if err := s.queries[name].toaster.OnEventBatch(evs); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.reg.OnEventBatch(evs)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
@@ -8,25 +9,51 @@ import (
 	"strings"
 
 	"dbtoaster/internal/engine"
+	"dbtoaster/internal/metrics"
+	"dbtoaster/internal/runtime"
 	"dbtoaster/internal/stream"
 	"dbtoaster/internal/wal"
 )
 
-// Checkpoint container format (the payload inside a wal checkpoint file):
+// Checkpoint container format v2 (the payload inside a wal checkpoint
+// file):
 //
+//	"DBTQ" magic, uint32 version (2)
 //	uint64 server event counter
 //	uint32 query count
 //	per query: uint32 name length, name bytes,
 //	           uint32 SQL length, whitespace-normalized SQL bytes,
+//	           uint64 from-seq (WAL position before which the query saw
+//	           nothing; sharing eligibility compares these),
 //	           uint64 blob length, engine snapshot blob (runtime "DBT2")
 //
-// All integers little-endian. The SQL text rides along so recovery can
-// re-register queries beyond "main" and refuse to load state into a
-// server started with different SQL. Queries registered after the last
-// checkpoint are not durable: they (and only they) are lost on crash and
-// must be re-registered.
+// All integers little-endian. v1 containers (no magic; they begin with the
+// uint64 event counter) are still read — they carry no per-query from-seq,
+// which restores as zero. The SQL text rides along so recovery can
+// re-register queries beyond "main" and refuse, per query, to load state
+// written for different SQL. Queries registered after the last checkpoint
+// are restored from their REGISTER WAL records instead.
 
-const maxContainerStr = 1 << 20
+const (
+	containerMagic   = "DBTQ"
+	containerVersion = 2
+	maxContainerStr  = 1 << 20
+)
+
+// SQLMismatchError reports a checkpoint whose recorded SQL for one query
+// differs from what the running server was configured with. It names the
+// query precisely so an operator can tell a renamed query from a changed
+// one.
+type SQLMismatchError struct {
+	Query         string
+	CheckpointSQL string
+	ConfiguredSQL string
+}
+
+func (e *SQLMismatchError) Error() string {
+	return fmt.Sprintf("recover query %q: checkpoint SQL %q does not match configured SQL %q",
+		e.Query, e.CheckpointSQL, e.ConfiguredSQL)
+}
 
 func writeString32(w io.Writer, s string) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
@@ -53,30 +80,48 @@ func readString32(r io.Reader, what string) (string, error) {
 
 func normalSQL(sql string) string { return strings.Join(strings.Fields(sql), " ") }
 
-// writeStateLocked serializes every registered query's state into the
-// checkpoint container. Caller holds s.mu.
+// writeStateLocked serializes every live query's state into the checkpoint
+// container. Caller holds s.mu.
 func (s *Server) writeStateLocked(w io.Writer, watermark uint64) error {
+	if _, err := io.WriteString(w, containerMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(containerVersion)); err != nil {
+		return err
+	}
 	if err := binary.Write(w, binary.LittleEndian, s.events); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(s.order))); err != nil {
+	var live []engine.QueryInfo
+	for _, info := range s.reg.Infos() {
+		if info.State == engine.StateLive {
+			live = append(live, info)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(live))); err != nil {
 		return err
 	}
-	for _, name := range s.order {
-		r := s.queries[name]
-		d, ok := r.toaster.(engine.Durable)
+	for _, info := range live {
+		eng, ok := s.reg.Get(info.Name)
 		if !ok {
-			return fmt.Errorf("query %q engine does not support snapshots", name)
+			return fmt.Errorf("query %q vanished during checkpoint", info.Name)
 		}
-		if err := writeString32(w, name); err != nil {
+		d, ok := eng.(engine.Durable)
+		if !ok {
+			return fmt.Errorf("query %q engine does not support snapshots", info.Name)
+		}
+		if err := writeString32(w, info.Name); err != nil {
 			return err
 		}
-		if err := writeString32(w, normalSQL(r.q.SQL)); err != nil {
+		if err := writeString32(w, normalSQL(info.SQL)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, info.FromSeq); err != nil {
 			return err
 		}
 		var blob bytes.Buffer
 		if err := d.StateSnapshot(&blob, watermark); err != nil {
-			return fmt.Errorf("query %q snapshot: %w", name, err)
+			return fmt.Errorf("query %q snapshot: %w", info.Name, err)
 		}
 		if err := binary.Write(w, binary.LittleEndian, uint64(blob.Len())); err != nil {
 			return err
@@ -88,83 +133,260 @@ func (s *Server) writeStateLocked(w io.Writer, watermark uint64) error {
 	return nil
 }
 
-// restoreState loads a checkpoint container, re-registering any query the
-// running server does not already have and refusing a state/SQL mismatch
-// for the ones it does. Only called during construction, before Listen.
+// restoreState loads a checkpoint container: queries the running server
+// already has (boot-installed "main") get their state restored in place
+// with a per-query SQL check, the rest are rebuilt and installed in
+// registration order — so shared-map ownership re-forms oldest-first, the
+// same order it formed live. Only called during construction, before
+// Listen.
 func (s *Server) restoreState(rd io.Reader) error {
+	br := bufio.NewReader(rd)
+	version := uint32(1)
+	if magic, err := br.Peek(4); err == nil && string(magic) == containerMagic {
+		br.Discard(4)
+		if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+			return fmt.Errorf("checkpoint container version: %w", err)
+		}
+		if version != containerVersion {
+			return fmt.Errorf("unsupported checkpoint container version %d", version)
+		}
+	}
 	var events uint64
-	if err := binary.Read(rd, binary.LittleEndian, &events); err != nil {
+	if err := binary.Read(br, binary.LittleEndian, &events); err != nil {
 		return fmt.Errorf("checkpoint event counter: %w", err)
 	}
 	var n uint32
-	if err := binary.Read(rd, binary.LittleEndian, &n); err != nil {
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return fmt.Errorf("checkpoint query count: %w", err)
 	}
+	restored := map[string]bool{}
 	for i := uint32(0); i < n; i++ {
-		name, err := readString32(rd, "query name")
+		name, err := readString32(br, "query name")
 		if err != nil {
 			return err
 		}
-		sqlText, err := readString32(rd, "query SQL")
+		sqlText, err := readString32(br, "query SQL")
 		if err != nil {
 			return err
+		}
+		var fromSeq uint64
+		if version >= 2 {
+			if err := binary.Read(br, binary.LittleEndian, &fromSeq); err != nil {
+				return fmt.Errorf("checkpoint from-seq: %w", err)
+			}
 		}
 		var blobLen uint64
-		if err := binary.Read(rd, binary.LittleEndian, &blobLen); err != nil {
+		if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
 			return fmt.Errorf("checkpoint blob length: %w", err)
 		}
 		blob := make([]byte, blobLen)
-		if _, err := io.ReadFull(rd, blob); err != nil {
+		if _, err := io.ReadFull(br, blob); err != nil {
 			return fmt.Errorf("checkpoint blob: %w", err)
 		}
-		r, ok := s.queries[name]
-		if !ok {
-			if err := s.Register(name, sqlText); err != nil {
+		restored[name] = true
+		if eng, ok := s.reg.Get(name); ok {
+			q, _ := s.reg.Query(name)
+			if q != nil && normalSQL(q.SQL) != sqlText {
+				return &SQLMismatchError{Query: name, CheckpointSQL: sqlText, ConfiguredSQL: normalSQL(q.SQL)}
+			}
+			d, ok := eng.(engine.Durable)
+			if !ok {
+				return fmt.Errorf("query %q engine does not support snapshots", name)
+			}
+			// In-place restore: shared-map borrowers hold byte-identical
+			// copies of the owner's blob contents, so clearing and
+			// re-filling the adopted instances is idempotent across the
+			// queries that share them.
+			if _, err := d.StateRestore(bytes.NewReader(blob)); err != nil {
 				return fmt.Errorf("recover query %q: %w", name, err)
 			}
-			r = s.queries[name]
-		} else if normalSQL(r.q.SQL) != sqlText {
-			return fmt.Errorf("recover query %q: checkpoint SQL %q does not match configured SQL %q",
-				name, sqlText, normalSQL(r.q.SQL))
+			s.reg.SetFromSeq(name, fromSeq)
+			continue
 		}
-		d, ok := r.toaster.(engine.Durable)
-		if !ok {
-			return fmt.Errorf("query %q engine does not support snapshots", name)
+		if err := s.restoreQuery(name, sqlText, fromSeq, blob); err != nil {
+			return err
 		}
-		if _, err := d.StateRestore(bytes.NewReader(blob)); err != nil {
-			return fmt.Errorf("recover query %q: %w", name, err)
+	}
+	// A boot-installed query absent from the container was unregistered
+	// before the last checkpoint; replaying the tail into its fresh empty
+	// engine would silently resurrect it with the pre-watermark history
+	// missing. Refuse, like any other state/configuration mismatch.
+	for _, name := range s.reg.Names() {
+		if !restored[name] {
+			return fmt.Errorf("recover query %q: configured at startup but unregistered before the last checkpoint; start with matching SQL or a fresh WAL directory", name)
 		}
 	}
 	s.events = events
 	return nil
 }
 
+// restoreQuery rebuilds one checkpointed query the server does not have
+// yet: compile, load the snapshot blob into the private engine, install.
+func (s *Server) restoreQuery(name, sqlText string, fromSeq uint64, blob []byte) error {
+	if err := s.reg.Begin(name, sqlText); err != nil {
+		return fmt.Errorf("recover query %q: %w", name, err)
+	}
+	q, err := engine.Prepare(sqlText, s.cat)
+	if err != nil {
+		s.reg.Abort(name)
+		return fmt.Errorf("recover query %q: %w", name, err)
+	}
+	ropts := runtime.Options{Metrics: s.sink, MetricsLabel: name}
+	var tmp engine.CompiledEngine
+	if s.shards > 1 {
+		tmp, err = engine.NewShardedToaster(q, s.shards, ropts)
+	} else {
+		tmp, err = engine.NewToaster(q, runtime.Options{NoMetrics: true})
+	}
+	if err != nil {
+		s.reg.Abort(name)
+		return fmt.Errorf("recover query %q: %w", name, err)
+	}
+	d, ok := tmp.(engine.Durable)
+	if !ok {
+		closeEngine(tmp)
+		s.reg.Abort(name)
+		return fmt.Errorf("query %q engine does not support snapshots", name)
+	}
+	if _, err := d.StateRestore(bytes.NewReader(blob)); err != nil {
+		closeEngine(tmp)
+		s.reg.Abort(name)
+		return fmt.Errorf("recover query %q: %w", name, err)
+	}
+	if _, err := s.reg.Install(name, q, tmp, fromSeq, ropts); err != nil {
+		closeEngine(tmp)
+		s.reg.Abort(name)
+		return fmt.Errorf("recover query %q: %w", name, err)
+	}
+	return nil
+}
+
+// replayInto replays retained WAL event records with after < seq (≤ until
+// when until is nonzero) into eng, skipping registration records. Engine
+// rejections mirror live ingest: a record the engines rejected live is
+// rejected again identically, so skipping it reconverges on the same
+// state.
+func (s *Server) replayInto(eng engine.Engine, after, until uint64, qs *metrics.QueryStats) (first, last uint64, err error) {
+	return s.wal.ReplayRange(after, until, func(seq uint64, data []byte) error {
+		if wal.RecordType(data) >= wal.RecRegister {
+			return nil
+		}
+		rel, insert, args, derr := wal.DecodeEvent(data)
+		if derr != nil {
+			return fmt.Errorf("wal record %d: %w", seq, derr)
+		}
+		op := stream.Delete
+		if insert {
+			op = stream.Insert
+		}
+		_ = eng.OnEvent(stream.Event{Op: op, Relation: rel, Args: args})
+		if qs != nil {
+			qs.CatchupEvents.Inc()
+		}
+		return nil
+	})
+}
+
 // runRecovery rebuilds server state from the WAL directory: checkpoint
-// restore, then idempotent replay of the log tail. Engine-level apply
-// errors during replay are counted, not fatal — a record the engines
-// rejected live is rejected again identically, so skipping it reconverges
-// on the pre-crash state.
+// restore, then idempotent replay of the log tail. Event records fan out
+// to every live query; REGISTER records rebuild the query exactly as the
+// live registration did (private engine, nested replay of the records it
+// had caught up on, install); UNREGISTER records remove it again.
+// Engine-level apply errors during replay are counted, not fatal.
 func (s *Server) runRecovery() (wal.RecoveryInfo, error) {
 	return s.wal.Recover(
 		s.restoreState,
 		func(seq uint64, data []byte) error {
-			rel, insert, args, err := wal.DecodeEvent(data)
-			if err != nil {
-				return fmt.Errorf("wal record %d: %w", seq, err)
-			}
-			op := stream.Delete
-			if insert {
-				op = stream.Insert
-			}
-			ev := stream.Event{Op: op, Relation: rel, Args: args}
-			for _, name := range s.order {
-				if err := s.queries[name].toaster.OnEvent(ev); err != nil {
+			switch wal.RecordType(data) {
+			case wal.RecRegister:
+				name, sqlText, fromSeq, err := wal.DecodeRegister(data)
+				if err != nil {
+					return fmt.Errorf("wal record %d: %w", seq, err)
+				}
+				return s.recoverRegister(name, sqlText, fromSeq, seq)
+			case wal.RecUnregister:
+				name, err := wal.DecodeUnregister(data)
+				if err != nil {
+					return fmt.Errorf("wal record %d: %w", seq, err)
+				}
+				eng, rerr := s.reg.Remove(name)
+				if rerr != nil {
+					// Removal of a query a newer checkpoint no longer holds
+					// replays as a no-op, like a rejected event.
+					s.replayErrs++
+					return nil
+				}
+				if s.sink != nil {
+					s.sink.DropLabel(name)
+				}
+				closeEngine(eng)
+				return nil
+			default:
+				rel, insert, args, err := wal.DecodeEvent(data)
+				if err != nil {
+					return fmt.Errorf("wal record %d: %w", seq, err)
+				}
+				op := stream.Delete
+				if insert {
+					op = stream.Insert
+				}
+				if err := s.reg.OnEvent(stream.Event{Op: op, Relation: rel, Args: args}); err != nil {
 					s.replayErrs++
 				}
+				s.events++
+				return nil
 			}
-			s.events++
-			return nil
 		})
+}
+
+// recoverRegister replays one REGISTER record: the query goes live having
+// seen exactly the records in (fromSeq, recordSeq), which is what the
+// original registration's catch-up covered — the outer recovery loop then
+// feeds it the rest of the tail like any live query. Exactly-once: a
+// record at or before the checkpoint watermark is never replayed (the
+// checkpoint already holds the query), and one after it always is.
+func (s *Server) recoverRegister(name, sqlText string, fromSeq, recordSeq uint64) error {
+	if _, ok := s.reg.Get(name); ok {
+		// Already present (e.g. a crash between the WAL record and the
+		// checkpoint that captured it was recovered twice): re-registering
+		// is a no-op, like a rejected event.
+		s.replayErrs++
+		return nil
+	}
+	if err := s.reg.Begin(name, sqlText); err != nil {
+		return fmt.Errorf("recover register %q: %w", name, err)
+	}
+	q, err := engine.Prepare(sqlText, s.cat)
+	if err != nil {
+		s.reg.Abort(name)
+		return fmt.Errorf("recover register %q: %w", name, err)
+	}
+	ropts := runtime.Options{Metrics: s.sink, MetricsLabel: name}
+	var tmp engine.CompiledEngine
+	if s.shards > 1 {
+		tmp, err = engine.NewShardedToaster(q, s.shards, ropts)
+	} else {
+		tmp, err = engine.NewToaster(q, runtime.Options{NoMetrics: true})
+	}
+	if err != nil {
+		s.reg.Abort(name)
+		return fmt.Errorf("recover register %q: %w", name, err)
+	}
+	var qs *metrics.QueryStats
+	if s.sink != nil {
+		qs = s.sink.Query(name)
+	}
+	if _, _, err := s.replayInto(tmp, fromSeq, recordSeq, qs); err != nil {
+		closeEngine(tmp)
+		s.reg.Abort(name)
+		return fmt.Errorf("recover register %q: %w", name, err)
+	}
+	if _, err := s.reg.Install(name, q, tmp, fromSeq, ropts); err != nil {
+		closeEngine(tmp)
+		s.reg.Abort(name)
+		return fmt.Errorf("recover register %q: %w", name, err)
+	}
+	return nil
 }
 
 // maybeCheckpointLocked takes an automatic checkpoint when the configured

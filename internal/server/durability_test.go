@@ -10,6 +10,15 @@ import (
 	"dbtoaster/internal/types"
 )
 
+func mainEngine(t *testing.T, s *Server) engine.CompiledEngine {
+	t.Helper()
+	eng, ok := s.reg.Get("main")
+	if !ok {
+		t.Fatal("main query not registered")
+	}
+	return eng
+}
+
 func durCatalog() *schema.Catalog {
 	return schema.NewCatalog(
 		schema.NewRelation("R", "A:int", "B:int"),
@@ -316,7 +325,7 @@ func TestServerRecoverAuxiliaryMaps(t *testing.T) {
 
 	// The compiled program must actually carry auxiliary maps beyond the
 	// AVG result pair — that is what this test protects on recovery.
-	prog := s.queries["main"].toaster.Compiled().Program
+	prog := mainEngine(t, s).Compiled().Program
 	if len(prog.MapOrder) < 3 {
 		t.Fatalf("expected AVG pair plus EXISTS witness maps, got maps %v", prog.MapOrder)
 	}
@@ -352,7 +361,7 @@ func TestServerRecoverAuxiliaryMaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	var want strings.Builder
-	if err := s.queries["main"].toaster.(engine.Durable).StateSnapshot(&want, 0); err != nil {
+	if err := mainEngine(t, s).(engine.Durable).StateSnapshot(&want, 0); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
@@ -367,7 +376,7 @@ func TestServerRecoverAuxiliaryMaps(t *testing.T) {
 		t.Fatalf("RecoveryInfo = %+v, replayErrs %d", info, replayErrs)
 	}
 	var got strings.Builder
-	if err := s2.queries["main"].toaster.(engine.Durable).StateSnapshot(&got, 0); err != nil {
+	if err := mainEngine(t, s2).(engine.Durable).StateSnapshot(&got, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != want.String() {

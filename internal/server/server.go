@@ -14,15 +14,27 @@
 //	DELETE <relation> v1|v2|...   → OK | ERR <msg>
 //	BATCH <n>                     → reads n INSERT/DELETE lines, applies
 //	                                them as one batch → OK | ERR <msg>
-//	REGISTER <name> <sql>         → OK (compiles another standing query)
+//	REGISTER <name> <sql>         → OK (compiles another standing query off
+//	                                to the side, catches it up from the
+//	                                retained WAL, and swaps it live without
+//	                                pausing ingest)
+//	UNREGISTER <name>             → OK (removes a standing query; shared
+//	                                map ownership is handed off first)
+//	LIST                          → OK <n> then one line per query:
+//	                                "name state from_seq=N shared=a,b sql"
 //	QUERIES                       → OK <n> then one "name sql" line each
 //	RESULT [name]                 → OK <n> then n result lines
 //	PROGRAM [name]                → OK <n> then the trigger program
-//	STATS                         → OK <events> <entries>
+//	STATS                         → OK <events> <entries> <n> then n lines
+//	                                of per-query detail, map names
+//	                                namespaced "query.map"
 //	METRICS                       → OK <n> then n "key value..." lines
 //	                                (trigger counters/latencies, map
 //	                                gauges, dispatch stats; see
 //	                                metrics.Snapshot.Lines)
+//	METRICS TRACE                 → OK <n> then n structured trace lines
+//	                                (drains the sampled trigger-firing
+//	                                ring; see metrics.TraceEvent)
 //	RESET                         → OK (zeroes metrics counters, e.g.
 //	                                between bakeoff phases)
 //	CHECKPOINT                    → OK <generation> <watermark> (captures
@@ -30,9 +42,12 @@
 //	                                WAL directory)
 //	QUIT                          → OK (closes the connection)
 //
-// Deltas feed every registered query; queries registered mid-stream see
-// only subsequent deltas (they start from the empty database, like any
-// standing query).
+// Deltas feed every live query. On a durable server a query registered
+// mid-stream is caught up from the retained WAL history before it goes
+// live, so its views answer over the same prefix as every other query's;
+// without a WAL it starts from the empty database. Registrations and
+// unregistrations are themselves WAL records, so the query set survives a
+// crash even before the next checkpoint.
 //
 // String values are whitespace-trimmed like the numeric kinds: the
 // protocol's field separators are '|' and newline, so "INSERT R a| x "
@@ -46,8 +61,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
-	"dbtoaster/internal/compiler"
 	"dbtoaster/internal/engine"
 	"dbtoaster/internal/metrics"
 	"dbtoaster/internal/runtime"
@@ -84,19 +99,17 @@ type Options struct {
 	CheckpointEvery uint64
 }
 
-// Server is a standalone standing-query processor hosting one or more
+// Server is a standalone standing-query processor hosting a dynamic set of
 // compiled queries over a shared catalog.
 type Server struct {
-	mu      sync.Mutex
-	cat     *schema.Catalog
-	shards  int
-	sink    *metrics.Sink
-	queries map[string]*registered
-	order   []string
-	first   string
-	events  uint64
-	ln      net.Listener
-	wg      sync.WaitGroup
+	mu     sync.Mutex
+	cat    *schema.Catalog
+	shards int
+	sink   *metrics.Sink
+	reg    *engine.Registry
+	events uint64
+	ln     net.Listener
+	wg     sync.WaitGroup
 
 	// ingest orders WAL appends against engine application and
 	// checkpoints: the committer holds it across append→apply, and
@@ -114,18 +127,6 @@ type Server struct {
 	replayErrs uint64
 }
 
-// queryEngine is the compiled-engine surface the server needs; both the
-// single-threaded Toaster and the sharded variant satisfy it.
-type queryEngine interface {
-	engine.Engine
-	Compiled() *compiler.Compiled
-}
-
-type registered struct {
-	q       *engine.Query
-	toaster queryEngine
-}
-
 // New compiles the initial query (registered as "main") for serving.
 func New(sqlText string, cat *schema.Catalog) (*Server, error) {
 	return NewWithOptions(sqlText, cat, Options{})
@@ -141,13 +142,18 @@ func NewSharded(sqlText string, cat *schema.Catalog, shards int) (*Server, error
 // NewWithOptions compiles the initial query (registered as "main") with
 // full configuration.
 func NewWithOptions(sqlText string, cat *schema.Catalog, opts Options) (*Server, error) {
-	s := &Server{cat: cat, shards: opts.Shards, queries: map[string]*registered{}}
+	// Map sharing requires a single-threaded engine per query: adopted maps
+	// are read without synchronization against the owner's writes, which is
+	// safe only under the one-event-at-a-time fan-out.
+	s := &Server{cat: cat, shards: opts.Shards, reg: engine.NewRegistry(opts.Shards <= 1)}
 	if !opts.NoMetrics {
 		s.sink = opts.Metrics
 		if s.sink == nil {
 			s.sink = metrics.New()
 		}
 	}
+	// "main" is installed before the WAL opens: with recovery it then
+	// replays the full retained history like every checkpointed query.
 	if err := s.Register("main", sqlText); err != nil {
 		return nil, err
 	}
@@ -186,10 +192,16 @@ func NewWithOptions(sqlText string, cat *schema.Catalog, opts Options) (*Server,
 // closeEngines shuts down engines with worker goroutines; used on
 // constructor error paths where Close is never reached.
 func (s *Server) closeEngines() {
-	for _, name := range s.order {
-		if c, ok := s.queries[name].toaster.(interface{ Close() error }); ok {
-			_ = c.Close()
+	for _, name := range s.reg.Names() {
+		if eng, ok := s.reg.Get(name); ok {
+			closeEngine(eng)
 		}
+	}
+}
+
+func closeEngine(eng engine.Engine) {
+	if c, ok := eng.(interface{ Close() error }); ok {
+		_ = c.Close()
 	}
 }
 
@@ -197,47 +209,159 @@ func (s *Server) closeEngines() {
 // hands it to metrics.Serve for the HTTP endpoint.
 func (s *Server) Sink() *metrics.Sink { return s.sink }
 
-// Register compiles and installs another standing query. The new view
-// starts from the empty database and maintains itself against subsequent
-// deltas.
+// Register compiles and installs another standing query without pausing
+// ingest. On a durable server the new engine is caught up from the
+// retained WAL history off to the side, then — at a control point in the
+// ingest order — drained of the final few records, logged as a REGISTER
+// WAL record, and atomically swapped into the event fan-out; its views
+// then answer over the same event prefix as every other query's. Without
+// a WAL the view starts from the empty database.
 func (s *Server) Register(name, sqlText string) error {
+	if name == "" || strings.ContainsAny(name, " \t|") {
+		return fmt.Errorf("invalid query name %q", name)
+	}
+	if err := s.reg.Begin(name, sqlText); err != nil {
+		return err
+	}
+	if err := s.install(name, sqlText); err != nil {
+		s.reg.Abort(name)
+		return err
+	}
+	return nil
+}
+
+// install runs the compile → catch-up → swap pipeline for one reserved
+// registration.
+func (s *Server) install(name, sqlText string) error {
+	start := time.Now()
 	q, err := engine.Prepare(sqlText, s.cat)
 	if err != nil {
 		return err
 	}
 	ropts := runtime.Options{Metrics: s.sink, MetricsLabel: name}
-	var t queryEngine
+	var tmp engine.CompiledEngine
 	if s.shards > 1 {
-		t, err = engine.NewShardedToaster(q, s.shards, ropts)
+		// The sharded runtime installs as-is (no rebuild-with-transfer), so
+		// the catch-up engine is already the final one, metrics attached.
+		tmp, err = engine.NewShardedToaster(q, s.shards, ropts)
 	} else {
-		t, err = engine.NewToaster(q, ropts)
+		// Single-threaded: catch up in a bare private engine; Install
+		// rebuilds it with metrics attached and map sharing applied.
+		tmp, err = engine.NewToaster(q, runtime.Options{NoMetrics: true})
 	}
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.queries[name]; dup {
-		return fmt.Errorf("query %q already registered", name)
+	var qs *metrics.QueryStats
+	if s.sink != nil {
+		qs = s.sink.Query(name)
+		qs.CompileNs.Set(int64(time.Since(start)))
 	}
-	s.queries[name] = &registered{q: q, toaster: t}
-	s.order = append(s.order, name)
-	if s.first == "" {
-		s.first = name
+
+	live := s.com != nil && s.wal != nil
+	var firstSeen, lastSeen uint64
+	if live {
+		// Catch up outside the ingest path: replay the retained history
+		// into the private engine while the committer keeps accepting
+		// deltas. The pin holds checkpoint pruning off so no segment
+		// disappears mid-read.
+		release := s.wal.Pin()
+		defer release()
+		s.reg.SetState(name, engine.StateCatchingUp)
+		// Converge against a live producer: each pass replays what arrived
+		// during the previous one, so the net shrinks geometrically unless
+		// ingest outruns replay. Hand off to the control lane once a pass
+		// nets only a group-commit's worth (or after a pass cap, so a
+		// saturating producer cannot livelock the registration) — the final
+		// drain's cost, and thus the ingest stall, stays bounded either way.
+		const drainThreshold = 512
+		for passes := 0; passes < 32; passes++ {
+			first, last, rerr := s.replayInto(tmp, lastSeen, 0, qs)
+			if rerr != nil {
+				closeEngine(tmp)
+				return rerr
+			}
+			if first == 0 {
+				break // nothing new; the rest drains under the control lane
+			}
+			if firstSeen == 0 {
+				firstSeen = first
+			}
+			netted := last - lastSeen
+			lastSeen = last
+			if netted <= drainThreshold {
+				break
+			}
+		}
 	}
-	return nil
+
+	err = s.control(func() error {
+		var fromSeq uint64
+		if live {
+			// Final drain: the log is static under the control lane, so one
+			// pass closes the gap between catch-up and the swap. Its cost is
+			// bounded by what arrived during the previous full pass —
+			// normally under one group-commit window.
+			first, last, rerr := s.replayInto(tmp, lastSeen, 0, qs)
+			if rerr != nil {
+				return rerr
+			}
+			if firstSeen == 0 {
+				firstSeen = first
+			}
+			if last > lastSeen {
+				lastSeen = last
+			}
+			if firstSeen != 0 {
+				fromSeq = firstSeen - 1
+			} else {
+				fromSeq = s.wal.LastSeq()
+			}
+			if _, werr := s.wal.Append(wal.AppendRegister(nil, name, normalSQL(sqlText), fromSeq)); werr != nil {
+				return fmt.Errorf("wal append register: %w", werr)
+			}
+		} else {
+			// Construction-time or non-durable: the query's origin is the
+			// current event count (recovery replay feeds boot-installed
+			// queries the whole log, matching origin zero).
+			fromSeq = s.events
+		}
+		_, ierr := s.reg.Install(name, q, tmp, fromSeq, ropts)
+		return ierr
+	})
+	if err != nil {
+		closeEngine(tmp)
+	}
+	return err
 }
 
-// lookupLocked resolves a query name ("" = the first registered).
-func (s *Server) lookupLocked(name string) (*registered, error) {
-	if name == "" {
-		name = s.first
+// Unregister removes a standing query at a control point in the ingest
+// order: its engine stops receiving events, ownership of any maps it
+// shares is promoted to their oldest borrower, and — on a durable server —
+// an UNREGISTER record makes the removal survive recovery. Removing the
+// last live query is refused.
+func (s *Server) Unregister(name string) error {
+	var removed engine.Engine
+	err := s.control(func() error {
+		eng, err := s.reg.Remove(name)
+		if err != nil {
+			return err
+		}
+		removed = eng
+		if s.wal != nil {
+			if _, werr := s.wal.Append(wal.AppendUnregister(nil, name)); werr != nil {
+				return fmt.Errorf("wal append unregister: %w", werr)
+			}
+		}
+		if s.sink != nil {
+			s.sink.DropLabel(name)
+		}
+		return nil
+	})
+	if removed != nil {
+		closeEngine(removed)
 	}
-	r, ok := s.queries[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown query %q", name)
-	}
-	return r, nil
+	return err
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -277,10 +401,12 @@ func (s *Server) Close() error {
 	s.stopCommitter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, name := range s.order {
-		if c, ok := s.queries[name].toaster.(interface{ Close() error }); ok {
-			if cerr := c.Close(); err == nil {
-				err = cerr
+	for _, name := range s.reg.Names() {
+		if eng, ok := s.reg.Get(name); ok {
+			if c, ok := eng.(interface{ Close() error }); ok {
+				if cerr := c.Close(); err == nil {
+					err = cerr
+				}
 			}
 		}
 	}
@@ -341,36 +467,75 @@ func (s *Server) applyBatch(evs []stream.Event) error {
 	return s.commit(evs)
 }
 
-// resultOf assembles a query's current answer under the lock.
+// resultOf assembles a query's current answer ("" = the oldest registered)
+// under the server lock — single-threaded engines must not be read while
+// the committer applies events.
 func (s *Server) resultOf(name string) (*engine.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, err := s.lookupLocked(name)
+	if name == "" {
+		name = s.reg.First()
+	}
+	eng, ok := s.reg.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown query %q", name)
+	}
+	res, err := eng.Results()
 	if err != nil {
 		return nil, err
 	}
-	return r.toaster.Results()
+	res.Query = name
+	return res, nil
 }
 
-// listQueries renders the QUERIES body under the lock.
+// listQueries renders the QUERIES body (live queries only; LIST shows the
+// full lifecycle).
 func (s *Server) listQueries() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.order))
-	for _, name := range s.order {
-		out = append(out, fmt.Sprintf("%s %s", name, strings.Join(strings.Fields(s.queries[name].q.SQL), " ")))
+	var out []string
+	for _, info := range s.reg.Infos() {
+		if info.State == engine.StateLive {
+			out = append(out, fmt.Sprintf("%s %s", info.Name, normalSQL(info.SQL)))
+		}
 	}
 	return out
 }
 
-// stats reports (events, total map entries) under the lock.
-func (s *Server) stats() (events uint64, entries int) {
+// listLines renders the LIST body: every registry entry, including
+// registrations still compiling or catching up.
+func (s *Server) listLines() []string {
+	var out []string
+	for _, info := range s.reg.Infos() {
+		shared := "-"
+		if len(info.Shared) > 0 {
+			shared = strings.Join(info.Shared, ",")
+		}
+		out = append(out, fmt.Sprintf("%s %s from_seq=%d shared=%s %s",
+			info.Name, info.State, info.FromSeq, shared, normalSQL(info.SQL)))
+	}
+	return out
+}
+
+// statsBody reports (events, total map entries) plus per-query detail
+// lines with map names namespaced "query.map", under the server lock.
+func (s *Server) statsBody() (events uint64, entries int, lines []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, name := range s.order {
-		entries += s.queries[name].toaster.MemEntries()
+	for _, name := range s.reg.Names() {
+		eng, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		n := eng.MemEntries()
+		entries += n
+		lines = append(lines, fmt.Sprintf("query %s entries=%d", name, n))
+		if ms, ok := eng.(interface{ MapStats() []runtime.MemStats }); ok {
+			for _, m := range ms.MapStats() {
+				lines = append(lines, fmt.Sprintf("map %s.%s entries=%d layout=%s shared=%t",
+					name, m.Name, m.Entries, m.Layout, m.Shared))
+			}
+		}
 	}
-	return s.events, entries
+	return s.events, entries, lines
 }
 
 func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit bool) {
@@ -437,6 +602,23 @@ func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit b
 			return false
 		}
 		fmt.Fprintln(w, "OK")
+	case "UNREGISTER":
+		name := strings.TrimSpace(rest)
+		if name == "" {
+			fmt.Fprintln(w, "ERR usage: UNREGISTER <name>")
+			return false
+		}
+		if err := s.Unregister(name); err != nil {
+			fmt.Fprintf(w, "ERR %s\n", err)
+			return false
+		}
+		fmt.Fprintln(w, "OK")
+	case "LIST":
+		lines := s.listLines()
+		fmt.Fprintf(w, "OK %d\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
 	case "QUERIES":
 		lines := s.listQueries()
 		fmt.Fprintf(w, "OK %d\n", len(lines))
@@ -459,25 +641,39 @@ func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit b
 			fmt.Fprintln(w, strings.Join(parts, "|"))
 		}
 	case "PROGRAM":
-		s.mu.Lock()
-		r, err := s.lookupLocked(strings.TrimSpace(rest))
-		s.mu.Unlock()
-		if err != nil {
-			fmt.Fprintf(w, "ERR %s\n", err)
+		name := strings.TrimSpace(rest)
+		if name == "" {
+			name = s.reg.First()
+		}
+		eng, ok := s.reg.Get(name)
+		if !ok {
+			fmt.Fprintf(w, "ERR unknown query %q\n", name)
 			return false
 		}
-		prog := r.toaster.Compiled().Program.String()
+		prog := eng.Compiled().Program.String()
 		lines := strings.Split(strings.TrimRight(prog, "\n"), "\n")
 		fmt.Fprintf(w, "OK %d\n", len(lines))
 		for _, l := range lines {
 			fmt.Fprintln(w, l)
 		}
 	case "STATS":
-		events, entries := s.stats()
-		fmt.Fprintf(w, "OK %d %d\n", events, entries)
+		events, entries, lines := s.statsBody()
+		fmt.Fprintf(w, "OK %d %d %d\n", events, entries, len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
 	case "METRICS":
 		if s.sink == nil {
 			fmt.Fprintln(w, "ERR metrics disabled")
+			return false
+		}
+		if strings.EqualFold(strings.TrimSpace(rest), "TRACE") {
+			evs := s.sink.Trace()
+			fmt.Fprintf(w, "OK %d\n", len(evs))
+			for _, t := range evs {
+				fmt.Fprintf(w, "trace seq=%d query=%s relation=%s op=%s latency_ns=%d unix_nano=%d\n",
+					t.Seq, t.Label, t.Relation, t.Op, t.LatencyNs, t.UnixNano)
+			}
 			return false
 		}
 		lines := s.sink.Snapshot().Lines()
@@ -610,22 +806,38 @@ func (c *Client) roundTrip(line string) (string, []string, error) {
 		return "", nil, fmt.Errorf("%s", strings.TrimPrefix(head, "ERR "))
 	}
 	var body []string
-	if rest := strings.TrimPrefix(head, "OK"); strings.TrimSpace(rest) != "" {
-		if n, err := strconv.Atoi(strings.Fields(rest)[0]); err == nil && strings.HasPrefix(head, "OK ") && lineCountCommands(line) {
-			for i := 0; i < n; i++ {
-				if !c.r.Scan() {
-					return "", nil, fmt.Errorf("truncated response")
-				}
-				body = append(body, c.r.Text())
+	if n, ok := bodyCount(line, head); ok {
+		for i := 0; i < n; i++ {
+			if !c.r.Scan() {
+				return "", nil, fmt.Errorf("truncated response")
 			}
+			body = append(body, c.r.Text())
 		}
 	}
 	return head, body, nil
 }
 
-func lineCountCommands(line string) bool {
+// bodyCount reports how many body lines follow head for the given command:
+// the first "OK" field for the list-shaped commands, the last for STATS
+// (whose head is "OK <events> <entries> <n>"). Commands not listed here
+// have single-line replies; missing one desynchronizes the protocol.
+func bodyCount(line, head string) (int, bool) {
 	cmd, _, _ := strings.Cut(strings.ToUpper(strings.TrimSpace(line)), " ")
-	return cmd == "RESULT" || cmd == "PROGRAM" || cmd == "QUERIES" || cmd == "METRICS"
+	fields := strings.Fields(head)
+	if len(fields) < 2 || fields[0] != "OK" {
+		return 0, false
+	}
+	var cnt string
+	switch cmd {
+	case "RESULT", "PROGRAM", "QUERIES", "METRICS", "LIST":
+		cnt = fields[1]
+	case "STATS":
+		cnt = fields[len(fields)-1]
+	default:
+		return 0, false
+	}
+	n, err := strconv.Atoi(cnt)
+	return n, err == nil
 }
 
 // Insert sends an insert; values are rendered per Value.String.
@@ -681,9 +893,29 @@ func (c *Client) Register(name, sql string) error {
 	return err
 }
 
+// Unregister removes a standing query from the server.
+func (c *Client) Unregister(name string) error {
+	_, _, err := c.roundTrip("UNREGISTER " + name)
+	return err
+}
+
 // Queries lists registered queries as "name sql" lines.
 func (c *Client) Queries() ([]string, error) {
 	_, body, err := c.roundTrip("QUERIES")
+	return body, err
+}
+
+// List fetches the full query lifecycle listing, one line per entry:
+// "name state from_seq=N shared=a,b sql".
+func (c *Client) List() ([]string, error) {
+	_, body, err := c.roundTrip("LIST")
+	return body, err
+}
+
+// Trace drains the server's structured trace ring as raw "trace key=value"
+// lines (one sampled trigger firing each).
+func (c *Client) Trace() ([]string, error) {
+	_, body, err := c.roundTrip("METRICS TRACE")
 	return body, err
 }
 
@@ -713,14 +945,24 @@ func (c *Client) ResultOf(name string) (columns []string, rows [][]string, err e
 	return columns, rows, nil
 }
 
-// Stats fetches (events processed, map entries).
+// Stats fetches (events processed, map entries). The per-query detail
+// body is drained and discarded; use StatsDetail to keep it.
 func (c *Client) Stats() (events, entries int, err error) {
-	head, _, err := c.roundTrip("STATS")
-	if err != nil {
-		return 0, 0, err
-	}
-	_, err = fmt.Sscanf(head, "OK %d %d", &events, &entries)
+	events, entries, _, err = c.StatsDetail()
 	return events, entries, err
+}
+
+// StatsDetail fetches the totals plus the per-query detail lines ("query
+// <name> entries=N" and "map <query>.<map> entries=N layout=L shared=B").
+func (c *Client) StatsDetail() (events, entries int, lines []string, err error) {
+	head, body, err := c.roundTrip("STATS")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if _, err = fmt.Sscanf(head, "OK %d %d", &events, &entries); err != nil {
+		return 0, 0, nil, err
+	}
+	return events, entries, body, nil
 }
 
 // Metrics fetches the METRICS snapshot as raw "key value..." lines.

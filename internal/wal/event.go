@@ -7,13 +7,39 @@ import (
 	"dbtoaster/internal/types"
 )
 
-// Event wire form inside a WAL record's application bytes:
+// Record wire forms inside a WAL record's application bytes. The first
+// byte is the record type:
 //
-//	op(1: 1=insert, 0=delete) | uint32 relLen | relation | AppendKey(args)
+//	0 (delete event), 1 (insert event):
+//	    op | uint32 relLen | relation | AppendKey(args)
+//	2 (query registration):
+//	    2 | uint32 nameLen | name | uint32 sqlLen | sql | uint64 fromSeq
+//	3 (query unregistration):
+//	    3 | uint32 nameLen | name
 //
 // The argument tuple reuses the injective key encoding, so decode goes
 // through types.DecodeKeyChecked and inherits its bounds validation and
-// value canonicalization.
+// value canonicalization. Registration records make dynamic query
+// lifecycle durable: a query registered after the last checkpoint is
+// reconstructed during recovery from its record plus the retained log
+// (fromSeq is the sequence number before which the query saw nothing).
+
+// Record type bytes.
+const (
+	RecDelete     = 0
+	RecInsert     = 1
+	RecRegister   = 2
+	RecUnregister = 3
+)
+
+// RecordType returns the type byte of a record's application bytes
+// (RecDelete/RecInsert/RecRegister/RecUnregister), or -1 when empty.
+func RecordType(b []byte) int {
+	if len(b) == 0 {
+		return -1
+	}
+	return int(b[0])
+}
 
 // AppendEvent appends the wire form of one base-relation delta to dst.
 func AppendEvent(dst []byte, rel string, insert bool, args types.Tuple) []byte {
@@ -49,4 +75,74 @@ func DecodeEvent(b []byte) (rel string, insert bool, args types.Tuple, err error
 		return "", false, nil, err
 	}
 	return rel, insert, args, nil
+}
+
+// appendString32 appends uint32 length + bytes.
+func appendString32(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// readString32 consumes uint32 length + bytes from b.
+func readString32(b []byte, what string) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("wal: %s length truncated", what)
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n < 0 || n > len(b) {
+		return "", nil, fmt.Errorf("wal: %s length %d exceeds remaining %d bytes", what, n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// AppendRegister appends the wire form of a query-registration record:
+// the query registered under name with the given (normalized) SQL, having
+// seen no events at or before fromSeq.
+func AppendRegister(dst []byte, name, sql string, fromSeq uint64) []byte {
+	dst = append(dst, RecRegister)
+	dst = appendString32(dst, name)
+	dst = appendString32(dst, sql)
+	return binary.LittleEndian.AppendUint64(dst, fromSeq)
+}
+
+// DecodeRegister inverts AppendRegister. It never panics on malformed
+// input.
+func DecodeRegister(b []byte) (name, sql string, fromSeq uint64, err error) {
+	if len(b) < 1 || b[0] != RecRegister {
+		return "", "", 0, fmt.Errorf("wal: not a register record")
+	}
+	name, rest, err := readString32(b[1:], "register name")
+	if err != nil {
+		return "", "", 0, err
+	}
+	sql, rest, err = readString32(rest, "register sql")
+	if err != nil {
+		return "", "", 0, err
+	}
+	if len(rest) != 8 {
+		return "", "", 0, fmt.Errorf("wal: register record trailer has %d bytes, want 8", len(rest))
+	}
+	return name, sql, binary.LittleEndian.Uint64(rest), nil
+}
+
+// AppendUnregister appends the wire form of a query-unregistration record.
+func AppendUnregister(dst []byte, name string) []byte {
+	dst = append(dst, RecUnregister)
+	return appendString32(dst, name)
+}
+
+// DecodeUnregister inverts AppendUnregister.
+func DecodeUnregister(b []byte) (name string, err error) {
+	if len(b) < 1 || b[0] != RecUnregister {
+		return "", fmt.Errorf("wal: not an unregister record")
+	}
+	name, rest, err := readString32(b[1:], "unregister name")
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("wal: unregister record has %d trailing bytes", len(rest))
+	}
+	return name, nil
 }

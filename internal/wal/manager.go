@@ -55,6 +55,9 @@ type Manager struct {
 	crashed   bool
 	closed    bool
 	buf       []byte
+	// pins counts outstanding Pin holders: while positive, checkpoints
+	// skip pruning so a live catch-up replay never races file removal.
+	pins int
 
 	// Discovered at Open, consumed by Recover.
 	hadState     bool
@@ -404,7 +407,9 @@ func (m *Manager) Checkpoint(state func(w io.Writer, watermark uint64) error) (g
 	if err := m.fire("ckpt.prune"); err != nil {
 		return 0, 0, err
 	}
-	m.pruneLocked(gen)
+	if m.pins == 0 {
+		m.pruneLocked(gen)
+	}
 	m.ckptGen, m.ckptWM, m.ckptPath = gen, watermark, final
 	m.hadState = true
 	if st != nil {
@@ -476,10 +481,16 @@ func (m *Manager) pruneLocked(ckptGen uint64) {
 // Errors from either callback abort recovery — corruption fallback
 // happened at Open; callback errors are application-level and must
 // surface.
+//
+// The manager's lock is not held across the callbacks, so apply may call
+// back into ReplayRange — the server does exactly that when it replays a
+// query-registration record and must catch the new query up from the
+// retained log. Recover runs before serving starts; it is not meant to be
+// concurrent with appends.
 func (m *Manager) Recover(restore func(r io.Reader) error, apply func(seq uint64, data []byte) error) (RecoveryInfo, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := m.usableLocked(); err != nil {
+		m.mu.Unlock()
 		return RecoveryInfo{}, err
 	}
 	info := RecoveryInfo{
@@ -488,21 +499,25 @@ func (m *Manager) Recover(restore func(r io.Reader) error, apply func(seq uint64
 		SkippedCheckpoints: m.skippedCkpts,
 		TruncatedBytes:     m.truncated,
 	}
-	if m.ckptGen != 0 && restore != nil {
-		blob, err := os.ReadFile(m.ckptPath)
+	ckptGen, ckptPath := m.ckptGen, m.ckptPath
+	segGens := append([]uint64{}, m.segGens...)
+	m.mu.Unlock()
+
+	if ckptGen != 0 && restore != nil {
+		blob, err := os.ReadFile(ckptPath)
 		if err != nil {
 			return info, err
 		}
 		_, _, payload, err := parseCheckpoint(blob)
 		if err != nil {
-			return info, fmt.Errorf("wal: checkpoint %s: %w", filepath.Base(m.ckptPath), err)
+			return info, fmt.Errorf("wal: checkpoint %s: %w", filepath.Base(ckptPath), err)
 		}
 		if err := restore(bytes.NewReader(payload)); err != nil {
 			return info, fmt.Errorf("wal: checkpoint restore: %w", err)
 		}
 	}
-	for _, gen := range m.segGens {
-		if gen <= m.ckptGen {
+	for _, gen := range segGens {
+		if gen <= ckptGen {
 			continue
 		}
 		body, err := os.ReadFile(filepath.Join(m.dir, segName(gen)))
@@ -531,6 +546,82 @@ func (m *Manager) Recover(restore func(r io.Reader) error, apply func(seq uint64
 		st.ReplayedRecords.Add(info.Replayed)
 	}
 	return info, nil
+}
+
+// Pin blocks segment pruning until the returned release function is
+// called. A registration catch-up pins the log before its first replay
+// pass so an automatic checkpoint cannot delete segments the replay (or a
+// post-crash recovery of the registration record) still needs; pruning
+// resumes at the next checkpoint after release.
+func (m *Manager) Pin() (release func()) {
+	m.mu.Lock()
+	m.pins++
+	m.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			m.pins--
+			m.mu.Unlock()
+		})
+	}
+}
+
+// ReplayRange replays retained records with after < seq (and, when until
+// is non-zero, seq < until) in sequence order, returning the first and
+// last sequence numbers applied (both zero when none matched). Unlike
+// Recover it walks every retained segment, including those at or before
+// the newest checkpoint generation — it is the catch-up path for queries
+// registered mid-stream, which need the full retained history, not the
+// post-checkpoint tail.
+//
+// The manager's lock is only held to snapshot the segment list, so
+// ReplayRange is safe to run concurrently with appends: a record half
+// written when a segment is read looks like a torn tail and ends that
+// pass cleanly; the caller re-invokes with after = last until no new
+// records appear. Callers replaying concurrently with checkpoints must
+// hold a Pin so pruning cannot remove segments mid-pass.
+func (m *Manager) ReplayRange(after, until uint64, apply func(seq uint64, data []byte) error) (first, last uint64, err error) {
+	m.mu.Lock()
+	if err := m.usableLocked(); err != nil {
+		m.mu.Unlock()
+		return 0, 0, err
+	}
+	segGens := append([]uint64{}, m.segGens...)
+	m.mu.Unlock()
+
+	for _, gen := range segGens {
+		body, err := os.ReadFile(filepath.Join(m.dir, segName(gen)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Pruned between the snapshot and the read (no pin held);
+				// its records are at or before a checkpoint watermark the
+				// caller will restore from instead.
+				continue
+			}
+			return first, last, err
+		}
+		if _, err := parseSegHeader(body); err != nil {
+			return first, last, fmt.Errorf("wal: segment %s: %w", segName(gen), err)
+		}
+		_, err = scanRecords(body[segHdrLen:], func(seq uint64, data []byte) error {
+			if seq <= after || (until != 0 && seq >= until) {
+				return nil
+			}
+			if err := apply(seq, data); err != nil {
+				return err
+			}
+			if first == 0 {
+				first = seq
+			}
+			last = seq
+			return nil
+		})
+		if err != nil {
+			return first, last, err
+		}
+	}
+	return first, last, nil
 }
 
 // Close releases the active segment. After an injected crash it only

@@ -23,6 +23,13 @@
 #                                        # speedups vs GOMAXPROCS=1 and the
 #                                        # host CPU count; CPUS=1,2 narrows
 #                                        # the sweep)
+#   SUITE=registry scripts/bench.sh      # dynamic query lifecycle: hot
+#                                        # register/unregister against a
+#                                        # retained WAL history
+#                                        # (BenchmarkRegistryRegister →
+#                                        # BENCH_registry.json with
+#                                        # register-latency p50/p99, mean
+#                                        # compile time, catch-up volume)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -30,6 +37,7 @@ BENCHTIME="${BENCHTIME:-20000x}"
 ENGINE="${ENGINE:-^dbtoaster$}"
 SUITE="${SUITE:-hotpath}"
 CPUFLAGS=""
+PKG="."
 case "$SUITE" in
 hotpath)
     PATTERN="^(BenchmarkFinancial|BenchmarkWarehouse|BenchmarkPaperQueryRST)/$ENGINE"
@@ -48,15 +56,50 @@ shards)
     OUT="${OUT:-BENCH_shards.json}"
     CPUFLAGS="-cpu ${CPUS:-1,2,4,8}"
     ;;
+registry)
+    PATTERN='^BenchmarkRegistryRegister$'
+    OUT="${OUT:-BENCH_registry.json}"
+    PKG="./internal/server"
+    # Each iteration is one full register (compile + WAL catch-up + swap)
+    # plus unregister; the hot-path default of 20000 iterations would
+    # replay the retained history 20000 times. BENCHTIME still overrides.
+    if [ "$BENCHTIME" = 20000x ]; then BENCHTIME=50x; fi
+    ;;
 *)
-    echo "unknown SUITE '$SUITE' (hotpath|typed|metrics|shards)" >&2
+    echo "unknown SUITE '$SUITE' (hotpath|typed|metrics|shards|registry)" >&2
     exit 2
     ;;
 esac
 
 # shellcheck disable=SC2086 # CPUFLAGS is intentionally word-split
-raw=$(go test -run xxx -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem $CPUFLAGS .)
+raw=$(go test -run xxx -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem $CPUFLAGS "$PKG")
 printf '%s\n' "$raw"
+
+if [ "$SUITE" = registry ]; then
+    # The benchmark reports custom units (register-latency percentiles,
+    # mean compile ns, catch-up record count) via b.ReportMetric; parse
+    # every "value unit" pair on the result line into a JSON field.
+    printf '%s\n' "$raw" | awk -v benchtime="$BENCHTIME" '
+/^BenchmarkRegistryRegister/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    print "{"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"name\": \"%s\",\n", name
+    for (i = 3; i <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        printf "  \"%s\": %s%s\n", unit, $i, (i + 2 <= NF ? "," : "")
+    }
+    print "}"
+}' > "$OUT"
+    if ! grep -q p99_ns "$OUT"; then
+        echo "BENCH_registry.json is missing register-latency percentiles" >&2
+        exit 1
+    fi
+    echo "wrote $OUT"
+    exit 0
+fi
 
 if [ "$SUITE" = shards ]; then
     # The -N name suffix is the GOMAXPROCS of that run (go test -cpu);

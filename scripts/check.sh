@@ -31,6 +31,14 @@ echo "== pipeline smoke (GOMAXPROCS=4) ==" && GOMAXPROCS=4 go test -race -count=
 GOMAXPROCS=4 go test -race -count=1 -run 'TestConcurrentBatchesGroupCommitAndRecover' ./internal/server/
 GOMAXPROCS=4 go test -run xxx -bench '^BenchmarkShardScaling/' -benchtime 100x .
 
+# Registry smoke: the dynamic-query lifecycle gates — hot-swap
+# registration against a live producer (differential vs boot-time
+# compilation), map-sharing refcounts, crash-point recovery of the
+# registered set — plus a short pass of the lifecycle benchmark.
+echo "== registry smoke ==" && GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestRegisterCatchUpDifferential|TestMapSharingRefcounts|TestRegistrationCrashRecovery' ./internal/server/
+BENCHTIME=10x SUITE=registry OUT="${TMPDIR:-/tmp}/BENCH_registry_smoke.json" sh scripts/bench.sh >/dev/null
+
 # Qgen differential + fuzz smoke: seeded random queries over the widened
 # SQL surface (AVG, EXISTS/IN, LEFT OUTER JOIN) must agree bitwise across
 # the typed, generic, and sharded engines and the re-evaluating oracle,
