@@ -18,6 +18,7 @@ import (
 	"dbtoaster/internal/compiler"
 	"dbtoaster/internal/engine"
 	"dbtoaster/internal/metrics"
+	"dbtoaster/internal/native"
 	"dbtoaster/internal/runtime"
 	"dbtoaster/internal/schema"
 	"dbtoaster/internal/stream"
@@ -30,7 +31,8 @@ type Config struct {
 	Catalog *schema.Catalog
 	Events  []stream.Event
 	// Engines filters which engines run ("dbtoaster", "dbtoaster-interp",
-	// "naive-reeval", "first-order-ivm"); empty means the standard trio.
+	// "dbtoaster-native", "naive-reeval", "first-order-ivm", ...); empty
+	// means the standard trio.
 	Engines []string
 	// MaxEventsSlow caps the events fed to the O(n·|D|) baselines so a
 	// large stream still finishes; their throughput is measured over the
@@ -101,6 +103,13 @@ func buildEngine(name string, q *engine.Query, opts runtime.Options) (engine.Eng
 		return engine.NewNaive(q), nil
 	case "first-order-ivm":
 		return engine.NewIVM(q), nil
+	case "dbtoaster-native":
+		// The generated-code path: emit + `go build` + drive the artifact
+		// as a subprocess. First construction per query pays the toolchain;
+		// repeats hit the source-hash build cache.
+		return engine.NewNativeToaster(q, native.ModeSubprocess)
+	case "dbtoaster-native-plugin":
+		return engine.NewNativeToaster(q, native.ModePlugin)
 	default:
 		if rest, ok := strings.CutPrefix(name, "dbtoaster-sharded-"); ok {
 			n, err := strconv.Atoi(rest)

@@ -1,0 +1,203 @@
+package native
+
+import (
+	"fmt"
+	"plugin"
+	"sync"
+
+	"dbtoaster/internal/codegen"
+	"dbtoaster/internal/types"
+)
+
+// A loaded .so stays mapped for the life of the process and its state is
+// package-level, so two live engines on one artifact would share (and
+// corrupt) each other's maps. liveSOs admits one live Plugin per artifact;
+// Close resets the shared state and releases the slot for reuse.
+var (
+	liveMu  sync.Mutex
+	liveSOs = map[string]bool{}
+	// plugin.Open returns the same handle for a path opened twice, so
+	// cache lookups to avoid redundant dlopen churn.
+	openedSOs = map[string]*pluginSyms{}
+)
+
+// pluginSyms holds the resolved entry points of one generated artifact.
+type pluginSyms struct {
+	apply func(rel int, insert bool, args []interface{}) error
+	dump  func(visit func(mapIdx int, key []interface{}, val float64))
+	load  func(mapIdx int, key []interface{}, val float64) error
+	reset func()
+}
+
+// Plugin drives a generated artifact loaded in-process via -buildmode=plugin.
+// Dispatch is a function call instead of a pipe write, at the cost of the
+// mode's loader constraints (see the package doc).
+type Plugin struct {
+	so   string
+	syms *pluginSyms
+	spec *codegen.Spec
+	done bool
+}
+
+// lookupSyms opens the artifact and resolves its entry points.
+func lookupSyms(so string) (*pluginSyms, error) {
+	if s, ok := openedSOs[so]; ok {
+		return s, nil
+	}
+	p, err := plugin.Open(so)
+	if err != nil {
+		return nil, fmt.Errorf("native: open plugin: %w", err)
+	}
+	s := &pluginSyms{}
+	for _, want := range []struct {
+		name string
+		bind func(plugin.Symbol) bool
+	}{
+		{"Apply", func(sym plugin.Symbol) bool {
+			f, ok := sym.(func(int, bool, []interface{}) error)
+			s.apply = f
+			return ok
+		}},
+		{"Dump", func(sym plugin.Symbol) bool {
+			f, ok := sym.(func(func(int, []interface{}, float64)))
+			s.dump = f
+			return ok
+		}},
+		{"Load", func(sym plugin.Symbol) bool {
+			f, ok := sym.(func(int, []interface{}, float64) error)
+			s.load = f
+			return ok
+		}},
+		{"Reset", func(sym plugin.Symbol) bool {
+			f, ok := sym.(func())
+			s.reset = f
+			return ok
+		}},
+	} {
+		sym, err := p.Lookup(want.name)
+		if err != nil {
+			return nil, fmt.Errorf("native: plugin lacks %s: %w", want.name, err)
+		}
+		if !want.bind(sym) {
+			return nil, fmt.Errorf("native: plugin %s has unexpected signature %T", want.name, sym)
+		}
+	}
+	openedSOs[so] = s
+	return s, nil
+}
+
+// StartPlugin loads a built .so and claims its live-engine slot, resetting
+// the artifact's state so a reused slot starts clean.
+func StartPlugin(so string, spec *codegen.Spec) (*Plugin, error) {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	if liveSOs[so] {
+		return nil, fmt.Errorf("native: plugin %s already has a live engine in this process (plugin state is process-global; Close the other engine first)", so)
+	}
+	syms, err := lookupSyms(so)
+	if err != nil {
+		return nil, err
+	}
+	syms.reset()
+	liveSOs[so] = true
+	return &Plugin{so: so, syms: syms, spec: spec}, nil
+}
+
+// Apply dispatches each event through the boxed entry point.
+func (p *Plugin) Apply(evs []Event) error {
+	if p.done {
+		return fmt.Errorf("native: plugin engine closed")
+	}
+	for _, ev := range evs {
+		kinds := p.spec.Rels[ev.Rel].Kinds
+		args := make([]interface{}, len(kinds))
+		for i, k := range kinds {
+			var v types.Value
+			if i < len(ev.Args) {
+				v = ev.Args[i]
+			}
+			args[i] = boxArg(v, k)
+		}
+		if err := p.syms.apply(ev.Rel, ev.Insert, args); err != nil {
+			return fmt.Errorf("native: plugin apply: %w", err)
+		}
+	}
+	return nil
+}
+
+// Dump collects the artifact's state via the visitor entry point.
+func (p *Plugin) Dump() ([]MapDump, error) {
+	if p.done {
+		return nil, fmt.Errorf("native: plugin engine closed")
+	}
+	out := make([]MapDump, len(p.spec.Maps))
+	for i, ms := range p.spec.Maps {
+		out[i].Name = ms.Name
+	}
+	var verr error
+	p.syms.dump(func(mapIdx int, key []interface{}, val float64) {
+		if verr != nil {
+			return
+		}
+		if mapIdx < 0 || mapIdx >= len(out) {
+			verr = fmt.Errorf("native: plugin dump visited unknown map index %d", mapIdx)
+			return
+		}
+		kinds := p.spec.Maps[mapIdx].KeyKinds
+		if len(key) != len(kinds) {
+			verr = fmt.Errorf("native: plugin dump key arity %d for map %s (want %d)", len(key), out[mapIdx].Name, len(kinds))
+			return
+		}
+		tuple := make(types.Tuple, len(key))
+		for i, raw := range key {
+			tuple[i] = unboxKey(raw, kinds[i])
+		}
+		out[mapIdx].Keys = append(out[mapIdx].Keys, tuple)
+		out[mapIdx].Vals = append(out[mapIdx].Vals, val)
+	})
+	if verr != nil {
+		return nil, verr
+	}
+	return out, nil
+}
+
+// Load resets the artifact and reinstalls every entry.
+func (p *Plugin) Load(dump []MapDump) error {
+	if p.done {
+		return fmt.Errorf("native: plugin engine closed")
+	}
+	if len(dump) != len(p.spec.Maps) {
+		return fmt.Errorf("native: load dump has %d maps, spec %d", len(dump), len(p.spec.Maps))
+	}
+	p.syms.reset()
+	for mi, d := range dump {
+		kinds := p.spec.Maps[mi].KeyKinds
+		for ei, key := range d.Keys {
+			args := make([]interface{}, len(kinds))
+			for i, k := range kinds {
+				var v types.Value
+				if i < len(key) {
+					v = key[i]
+				}
+				args[i] = boxArg(v, k)
+			}
+			if err := p.syms.load(mi, args, d.Vals[ei]); err != nil {
+				return fmt.Errorf("native: plugin load: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close resets the shared state and releases the artifact's live slot.
+func (p *Plugin) Close() error {
+	if p.done {
+		return nil
+	}
+	p.done = true
+	p.syms.reset()
+	liveMu.Lock()
+	delete(liveSOs, p.so)
+	liveMu.Unlock()
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package native
+
+// RaceEnabled reports whether the host binary was built with the race
+// detector. A race-instrumented host cannot load a plugin built without
+// it (the Go runtime rejects the mismatch at Open), so plugin-mode
+// callers and tests gate on this.
+const RaceEnabled = false

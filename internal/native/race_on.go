@@ -1,0 +1,7 @@
+//go:build race
+
+package native
+
+// RaceEnabled reports whether the host binary was built with the race
+// detector; see race_off.go.
+const RaceEnabled = true

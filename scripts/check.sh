@@ -39,6 +39,13 @@ echo "== registry smoke ==" && GOMAXPROCS=4 go test -race -count=1 \
     -run 'TestRegisterCatchUpDifferential|TestMapSharingRefcounts|TestRegistrationCrashRecovery' ./internal/server/
 BENCHTIME=10x SUITE=registry OUT="${TMPDIR:-/tmp}/BENCH_registry_smoke.json" sh scripts/bench.sh >/dev/null
 
+# Native smoke: generate, `go build`, and drive the generated-Go engine
+# for a fixed qgen seed subset and the bakeoff queries, requiring bitwise
+# snapshot equality against the closure engine, plus a short pass of the
+# native-vs-closure benchmark so the SUITE=native rig stays healthy.
+echo "== native smoke ==" && go test ./internal/engine/ -run 'TestNative' -count=1
+BENCHTIME=100x SUITE=native OUT="${TMPDIR:-/tmp}/BENCH_native_smoke.json" sh scripts/bench.sh >/dev/null
+
 # Qgen differential + fuzz smoke: seeded random queries over the widened
 # SQL surface (AVG, EXISTS/IN, LEFT OUTER JOIN) must agree bitwise across
 # the typed, generic, and sharded engines and the re-evaluating oracle,
