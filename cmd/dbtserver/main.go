@@ -19,7 +19,9 @@ import (
 	"strings"
 
 	"dbtoaster/internal/cli"
+	"dbtoaster/internal/engine"
 	"dbtoaster/internal/metrics"
+	"dbtoaster/internal/native"
 	"dbtoaster/internal/schema"
 	"dbtoaster/internal/server"
 )
@@ -38,6 +40,16 @@ func main() {
 		recover     = flag.Bool("recover", false, "rebuild state from -wal-dir at startup (newest valid checkpoint plus log tail)")
 		walSync     = flag.Bool("wal-sync", false, "fsync the WAL on every append (default: checkpoint cadence bounds loss)")
 		ckptEvery   = flag.Uint64("checkpoint-every", 0, "take an automatic checkpoint after this many events (0 = only explicit CHECKPOINT)")
+
+		quotaEntries = flag.Int("quota-entries", 0, "quarantine a query whose owned maps exceed this many entries (0 = unlimited)")
+		quotaBytes   = flag.Uint64("quota-bytes", 0, "quarantine a query whose owned maps exceed this many approximate bytes (0 = unlimited)")
+		quotaBudget  = flag.Duration("quota-trigger-budget", 0, "per-event trigger time budget; repeated breaches quarantine the query (0 = unlimited)")
+		quotaStrikes = flag.Int("quota-breaches", 0, "consecutive trigger-budget breaches before quarantine (0 = default 3)")
+		maxConns     = flag.Int("max-conns", 0, "cap concurrent connections; excess get one ERR line and are closed (0 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle past this duration (0 = never)")
+		maxPending   = flag.Int("max-pending", 0, "shed ingest requests once this many events queue for the next commit group (0 = unbounded)")
+		nativeMode   = flag.String("native", "", "serve queries on supervised native-code engines: subprocess or plugin (empty = interpreted runtime)")
+		nativeTo     = flag.Duration("native-timeout", 0, "native child pipe liveness deadline (0 = DBT_NATIVE_TIMEOUT or 5s)")
 	)
 	flag.Parse()
 
@@ -82,14 +94,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbtserver: -recover requires -wal-dir")
 		os.Exit(1)
 	}
-	s, err := server.NewWithOptions(src, cat, server.Options{
+	opts := server.Options{
 		Shards:          *shards,
 		NoMetrics:       *noMetrics,
 		WALDir:          *walDir,
 		Recover:         *recover,
 		WALSync:         *walSync,
 		CheckpointEvery: *ckptEvery,
-	})
+		Quota: engine.Quota{
+			MaxEntries:     *quotaEntries,
+			MaxBytes:       *quotaBytes,
+			TriggerBudget:  *quotaBudget,
+			BudgetBreaches: *quotaStrikes,
+		},
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+		MaxPending:  *maxPending,
+	}
+	if *nativeMode != "" {
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "dbtserver: -native and -shards are mutually exclusive")
+			os.Exit(1)
+		}
+		mode, ok := parseNativeMode(*nativeMode)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dbtserver: unknown -native mode %q (want subprocess or plugin)\n", *nativeMode)
+			os.Exit(1)
+		}
+		var sink *metrics.Sink
+		if !*noMetrics {
+			sink = metrics.New()
+			opts.Metrics = sink
+		}
+		opts.EngineBuilder = func(name string, q *engine.Query) (engine.CompiledEngine, error) {
+			nopts := engine.NativeOptions{Mode: mode, Timeout: *nativeTo}
+			if sink != nil {
+				nopts.OnRestart = func(uint64) { sink.Robust().NativeRestarts.Inc() }
+			}
+			return engine.NewNativeToasterOptions(q, nopts)
+		}
+	}
+	s, err := server.NewWithOptions(src, cat, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtserver:", err)
 		os.Exit(1)
@@ -127,4 +172,15 @@ func main() {
 	<-sig
 	fmt.Println("dbtserver: shutting down")
 	s.Close()
+}
+
+// parseNativeMode maps the -native flag value to a build mode.
+func parseNativeMode(s string) (native.Mode, bool) {
+	switch strings.ToLower(s) {
+	case "subprocess":
+		return native.ModeSubprocess, true
+	case "plugin":
+		return native.ModePlugin, true
+	}
+	return 0, false
 }

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"dbtoaster/internal/native"
+	"dbtoaster/internal/stream"
+	"dbtoaster/internal/types"
+)
+
+// TestNativeSupervisorRestart kills the child mid-stream and checks the
+// supervisor rebuilds it — shadow snapshot plus journal replay — without
+// losing or duplicating a single admitted event: the final state is
+// byte-identical to the closure reference fed the same stream.
+func TestNativeSupervisorRestart(t *testing.T) {
+	skipWithoutToolchain(t)
+	const src = "select B, sum(A) from R group by B"
+	nat, ref := nativePair(t, src, testCatalog())
+
+	feed := func(e Engine, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			ev := stream.Event{Op: stream.Insert, Relation: "R",
+				Args: types.Tuple{types.NewInt(i), types.NewInt(i % 4)}}
+			if err := e.OnEvent(ev); err != nil {
+				t.Fatalf("event %d: %v", i, err)
+			}
+		}
+	}
+
+	feed(nat, 0, 50)
+	if err := nat.Flush(); err != nil {
+		t.Fatalf("flush before kill: %v", err)
+	}
+	if err := nat.KillChild(); err != nil {
+		t.Fatalf("kill child: %v", err)
+	}
+	// Events after the kill land in the journal; the next barrier (or the
+	// failed Apply itself) detects the dead child and respawns it.
+	feed(nat, 50, 100)
+	if err := nat.Flush(); err != nil {
+		t.Fatalf("flush after kill: %v", err)
+	}
+	if nat.Restarts() == 0 {
+		t.Fatal("supervisor reported zero restarts after child kill")
+	}
+
+	feed(ref, 0, 100)
+	requireSnapshotEqual(t, nat, ref, "after supervised restart")
+}
+
+// TestNativeSupervisorRestartUnsyncedJournal kills the child while the
+// journal still holds unsynced events (no barrier between feed and kill),
+// so recovery must replay shadow + journal, not just reload the shadow.
+func TestNativeSupervisorRestartUnsyncedJournal(t *testing.T) {
+	skipWithoutToolchain(t)
+	const src = "select B, sum(A) from R group by B"
+	nat, ref := nativePair(t, src, testCatalog())
+
+	for i := int64(0); i < 30; i++ {
+		ev := stream.Event{Op: stream.Insert, Relation: "R",
+			Args: types.Tuple{types.NewInt(i), types.NewInt(i % 3)}}
+		if err := nat.OnEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.OnEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nat.KillChild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nat.Flush(); err != nil {
+		t.Fatalf("flush after kill: %v", err)
+	}
+	if nat.Restarts() == 0 {
+		t.Fatal("supervisor reported zero restarts")
+	}
+	requireSnapshotEqual(t, nat, ref, "after unsynced-journal restart")
+}
+
+// TestNativeCircuitBreaker exhausts the restart budget and checks the
+// failure turns fatal (quarantine material) instead of a crash loop.
+func TestNativeCircuitBreaker(t *testing.T) {
+	skipWithoutToolchain(t)
+	const src = "select B, sum(A) from R group by B"
+	q, err := Prepare(src, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := NewNativeToasterOptions(q, NativeOptions{
+		Mode:          native.ModeSubprocess,
+		MaxRestarts:   1,
+		RestartWindow: time.Hour,
+		BackoffBase:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nat.Close() })
+
+	ev := stream.Event{Op: stream.Insert, Relation: "R",
+		Args: types.Tuple{types.NewInt(1), types.NewInt(1)}}
+	if err := nat.OnEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := nat.KillChild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nat.Flush(); err != nil {
+		t.Fatalf("first kill should restart within budget: %v", err)
+	}
+	if nat.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", nat.Restarts())
+	}
+
+	if err := nat.KillChild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nat.OnEvent(ev); err == nil {
+		err = nat.Flush()
+		if err == nil {
+			t.Fatal("second kill within the window should trip the circuit")
+		}
+		assertCircuitError(t, err)
+	} else {
+		assertCircuitError(t, err)
+	}
+}
+
+func assertCircuitError(t *testing.T, err error) {
+	t.Helper()
+	var ce *NativeCircuitError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v (%T), want NativeCircuitError", err, err)
+	}
+	if !IsFatal(err) {
+		t.Fatalf("circuit error not fatal: %v", err)
+	}
+}
+
+// TestNativeTimeoutEnv checks the DBT_NATIVE_TIMEOUT fallback resolution
+// order: explicit option, env var, 5s default.
+func TestNativeTimeoutEnv(t *testing.T) {
+	if d := (native.ProcOptions{Timeout: time.Second}).DefaultTimeout(); d != time.Second {
+		t.Fatalf("explicit timeout resolved to %s", d)
+	}
+	os.Setenv("DBT_NATIVE_TIMEOUT", "250ms")
+	defer os.Unsetenv("DBT_NATIVE_TIMEOUT")
+	if d := (native.ProcOptions{}).DefaultTimeout(); d != 250*time.Millisecond {
+		t.Fatalf("env timeout resolved to %s", d)
+	}
+	os.Setenv("DBT_NATIVE_TIMEOUT", "garbage")
+	if d := (native.ProcOptions{}).DefaultTimeout(); d != 5*time.Second {
+		t.Fatalf("invalid env should fall back to 5s, got %s", d)
+	}
+}

@@ -58,6 +58,14 @@ type Registry struct {
 	pool    map[string]*poolEntry
 	// live caches the live entries newest-first for the event fan-out.
 	live []*regEntry
+	// stash holds quarantined entries displaced by an in-flight revive
+	// (a REGISTER under a quarantined name); Abort restores them.
+	stash map[string]*regEntry
+	// quota and enforceBudget bound per-query resources in the fan-out
+	// (see quarantine.go); onQuarantine makes demotions durable.
+	quota         Quota
+	enforceBudget bool
+	onQuarantine  func(name, reason string) uint64
 }
 
 // QueryState is a registry entry's lifecycle state.
@@ -68,6 +76,11 @@ const (
 	StateCatchingUp
 	StateLive
 	StateDraining
+	// StateQuarantined marks a query removed from the fan-out after a
+	// trigger panic, quota breach, or engine failure. Its engine is
+	// closed and dropped; the entry survives (with the reason) so LIST
+	// stays honest, and a fresh REGISTER under the same name revives it.
+	StateQuarantined
 )
 
 func (s QueryState) String() string {
@@ -80,6 +93,8 @@ func (s QueryState) String() string {
 		return "live"
 	case StateDraining:
 		return "draining"
+	case StateQuarantined:
+		return "quarantined"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -92,6 +107,10 @@ type QueryInfo struct {
 	FromSeq uint64
 	// Shared lists this query's map names adopted from other queries.
 	Shared []string
+	// Reason and LastGood are set for quarantined entries: why the query
+	// was demoted, and the last WAL sequence it fully applied.
+	Reason   string
+	LastGood uint64
 }
 
 // PoolInfo describes one shared-map pool entry for tests and diagnostics.
@@ -123,6 +142,12 @@ type regEntry struct {
 	// the signatures this query owns in / adopts from the pool.
 	owned    map[string]string
 	borrowed map[string]string
+	// Quarantine bookkeeping: why the entry was demoted, the last WAL
+	// sequence it fully applied, and the consecutive trigger-budget
+	// breach count (reset on every in-budget fan-out pass).
+	reason   string
+	lastGood uint64
+	breaches int
 }
 
 type poolEntry struct {
@@ -138,9 +163,11 @@ type poolEntry struct {
 // against the owner's writes.
 func NewRegistry(sharing bool) *Registry {
 	return &Registry{
-		sharing: sharing,
-		entries: map[string]*regEntry{},
-		pool:    map[string]*poolEntry{},
+		sharing:       sharing,
+		entries:       map[string]*regEntry{},
+		pool:          map[string]*poolEntry{},
+		stash:         map[string]*regEntry{},
+		enforceBudget: true,
 	}
 }
 
@@ -150,8 +177,13 @@ func NewRegistry(sharing bool) *Registry {
 func (r *Registry) Begin(name, sql string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.entries[name]; dup {
-		return fmt.Errorf("query %q already registered", name)
+	if e, dup := r.entries[name]; dup {
+		if e.state != StateQuarantined {
+			return fmt.Errorf("query %q already registered", name)
+		}
+		// Revive: a REGISTER under a quarantined name displaces the dead
+		// entry; Abort puts it back if compilation or catch-up fails.
+		r.stash[name] = e
 	}
 	r.entries[name] = &regEntry{name: name, sql: sql, state: StateCompiling, seq: r.nextSeq}
 	r.nextSeq++
@@ -168,13 +200,21 @@ func (r *Registry) SetState(name string, st QueryState) {
 	}
 }
 
-// Abort releases a non-live reservation after a failed registration.
+// Abort releases a non-live reservation after a failed registration,
+// restoring any quarantined entry the reservation displaced.
 func (r *Registry) Abort(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e := r.entries[name]; e != nil && e.state != StateLive {
-		delete(r.entries, name)
+	e := r.entries[name]
+	if e == nil || e.state == StateLive || e.state == StateQuarantined {
+		return
 	}
+	if old := r.stash[name]; old != nil {
+		r.entries[name] = old
+		delete(r.stash, name)
+		return
+	}
+	delete(r.entries, name)
 }
 
 // sigsOf maps a program's map names to their sharing signatures (only maps
@@ -225,6 +265,7 @@ func (r *Registry) Install(name string, q *Query, eng CompiledEngine, fromSeq ui
 	if !isToaster {
 		ent.eng = eng
 		ent.state = StateLive
+		delete(r.stash, name)
 		r.rebuildLiveLocked()
 		return eng, nil
 	}
@@ -266,6 +307,7 @@ func (r *Registry) Install(name string, q *Query, eng CompiledEngine, fromSeq ui
 	}
 	ent.eng = final
 	ent.state = StateLive
+	delete(r.stash, name)
 	r.rebuildLiveLocked()
 	return final, nil
 }
@@ -281,7 +323,16 @@ func (r *Registry) Remove(name string) (CompiledEngine, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ent := r.entries[name]
-	if ent == nil || ent.state != StateLive {
+	if ent == nil {
+		return nil, fmt.Errorf("unknown query %q", name)
+	}
+	if ent.state == StateQuarantined {
+		// A quarantined entry holds no engine and no pool stake; removing
+		// it is pure bookkeeping.
+		delete(r.entries, name)
+		return nil, nil
+	}
+	if ent.state != StateLive {
 		return nil, fmt.Errorf("unknown query %q", name)
 	}
 	if len(r.live) == 1 {
@@ -408,36 +459,19 @@ func (r *Registry) rebuildLiveLocked() {
 	r.live = live
 }
 
-// liveEntries snapshots the fan-out slice.
-func (r *Registry) liveEntries() []*regEntry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.live
-}
-
 // OnEvent fans one delta out to every live engine, newest registration
 // first. Every engine sees the event even if an earlier one rejects it
 // (identical rejection on replay keeps recovery convergent); the first
-// error is reported.
+// ordinary rejection is reported, while panics, fatal engine failures,
+// and quota breaches quarantine the offending engine instead (see
+// quarantine.go).
 func (r *Registry) OnEvent(ev stream.Event) error {
-	var firstErr error
-	for _, e := range r.liveEntries() {
-		if err := e.eng.OnEvent(ev); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return r.fanOut(nil, ev, false)
 }
 
 // OnEventBatch fans a batch out to every live engine, newest first.
 func (r *Registry) OnEventBatch(evs []stream.Event) error {
-	var firstErr error
-	for _, e := range r.liveEntries() {
-		if err := e.eng.OnEventBatch(evs); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return r.fanOut(evs, stream.Event{}, true)
 }
 
 // Get returns a live query's engine.
@@ -500,7 +534,8 @@ func (r *Registry) Infos() []QueryInfo {
 	ordered := r.orderedLocked()
 	out := make([]QueryInfo, 0, len(ordered))
 	for _, e := range ordered {
-		info := QueryInfo{Name: e.name, SQL: e.sql, State: e.state, FromSeq: e.fromSeq}
+		info := QueryInfo{Name: e.name, SQL: e.sql, State: e.state, FromSeq: e.fromSeq,
+			Reason: e.reason, LastGood: e.lastGood}
 		for _, mn := range e.borrowed {
 			info.Shared = append(info.Shared, mn)
 		}

@@ -131,6 +131,12 @@ func (t *Toaster) MemEntries() int {
 	return n
 }
 
+// OwnedFootprint reports owned entries and approximate bytes without
+// allocating — the registry's per-event quota probe.
+func (t *Toaster) OwnedFootprint() (int, uint64) {
+	return t.rt.OwnedFootprint()
+}
+
 // MapStats reports per-map storage statistics (including adopted maps,
 // flagged Shared) for the server's STATS body.
 func (t *Toaster) MapStats() []runtime.MemStats { return t.rt.MemStats() }

@@ -261,6 +261,19 @@ type WALStats struct {
 	GroupSize       Histogram
 }
 
+// RobustStats is the overload-protection and failure-isolation series:
+// requests shed by the bounded committer, connections refused at the
+// accept loop, idle connections reaped, queries quarantined, and native
+// children respawned. Registered once per sink, like WALStats.
+type RobustStats struct {
+	ShedRequests   Counter
+	ShedEvents     Counter
+	ConnRejects    Counter
+	IdleCloses     Counter
+	Quarantines    Counter
+	NativeRestarts Counter
+}
+
 // MapStats is one view map's live gauges: entry cardinality and its
 // high-water mark. Entries/Peak move only on entry births and deaths, so
 // steady-state updates (the hot path) never touch them.
@@ -328,6 +341,7 @@ type Sink struct {
 	workers   []*WorkerApplyStats
 	workerIdx map[string]*WorkerApplyStats
 	wal       *WALStats
+	robust    *RobustStats
 	queries   []*QueryStats
 	queryIdx  map[string]*QueryStats
 
@@ -466,6 +480,17 @@ func (s *Sink) WAL() *WALStats {
 	return s.wal
 }
 
+// Robust returns the sink's overload/failure-isolation series (created on
+// first use).
+func (s *Sink) Robust() *RobustStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.robust == nil {
+		s.robust = &RobustStats{}
+	}
+	return s.robust
+}
+
 // Reset zeroes every counter and histogram and restarts the uptime clock,
 // so back-to-back bakeoff phases can share one server without the earlier
 // phase polluting the later phase's rates. Map cardinality gauges describe
@@ -476,7 +501,7 @@ func (s *Sink) Reset() {
 	triggers := append([]*TriggerStats(nil), s.triggers...)
 	maps := append([]*MapStats(nil), s.maps...)
 	workers := append([]*WorkerApplyStats(nil), s.workers...)
-	shard, global, wal := s.shard, s.global, s.wal
+	shard, global, wal, robust := s.shard, s.global, s.wal, s.robust
 	s.start = time.Now()
 	s.mu.Unlock()
 	s.Ingested.Reset()
@@ -522,6 +547,14 @@ func (s *Sink) Reset() {
 		wal.ReplayedRecords.Reset()
 		wal.GroupCommits.Reset()
 		wal.GroupSize.Reset()
+	}
+	if robust != nil {
+		robust.ShedRequests.Reset()
+		robust.ShedEvents.Reset()
+		robust.ConnRejects.Reset()
+		robust.IdleCloses.Reset()
+		robust.Quarantines.Reset()
+		robust.NativeRestarts.Reset()
 	}
 }
 
@@ -582,6 +615,17 @@ type WALSnapshot struct {
 	GroupSize       HistogramSnapshot `json:"group_size"`
 }
 
+// RobustSnapshot is the overload/failure-isolation series at a point in
+// time.
+type RobustSnapshot struct {
+	ShedRequests   uint64 `json:"shed_requests"`
+	ShedEvents     uint64 `json:"shed_events"`
+	ConnRejects    uint64 `json:"conn_rejects"`
+	IdleCloses     uint64 `json:"idle_closes"`
+	Quarantines    uint64 `json:"quarantines"`
+	NativeRestarts uint64 `json:"native_restarts"`
+}
+
 // HeapSnapshot is the process-level memory picture backing the "bytes"
 // side of the map telemetry (Go runtime MemStats).
 type HeapSnapshot struct {
@@ -604,6 +648,7 @@ type Snapshot struct {
 	Global         *DispatchSnapshot     `json:"global_dispatch,omitempty"`
 	Workers        []WorkerApplySnapshot `json:"worker_apply,omitempty"`
 	WAL            *WALSnapshot          `json:"wal,omitempty"`
+	Robust         *RobustSnapshot       `json:"robust,omitempty"`
 	Queries        []QuerySnapshot       `json:"queries,omitempty"`
 	Heap           HeapSnapshot          `json:"heap"`
 }
@@ -633,7 +678,7 @@ func (s *Sink) Snapshot() *Snapshot {
 	maps := append([]*MapStats(nil), s.maps...)
 	workers := append([]*WorkerApplyStats(nil), s.workers...)
 	queries := append([]*QueryStats(nil), s.queries...)
-	shard, global, wal := s.shard, s.global, s.wal
+	shard, global, wal, robust := s.shard, s.global, s.wal, s.robust
 	s.mu.Unlock()
 	snap := &Snapshot{
 		TakenAt:        now,
@@ -734,6 +779,16 @@ func (s *Sink) Snapshot() *Snapshot {
 			GroupSize:       wal.GroupSize.Snapshot(),
 		}
 	}
+	if robust != nil {
+		snap.Robust = &RobustSnapshot{
+			ShedRequests:   robust.ShedRequests.Load(),
+			ShedEvents:     robust.ShedEvents.Load(),
+			ConnRejects:    robust.ConnRejects.Load(),
+			IdleCloses:     robust.IdleCloses.Load(),
+			Quarantines:    robust.Quarantines.Load(),
+			NativeRestarts: robust.NativeRestarts.Load(),
+		}
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	snap.Heap = HeapSnapshot{
@@ -808,6 +863,11 @@ func (s *Snapshot) Lines() []string {
 			w.Checkpoints, w.CheckpointNs.Mean(), w.CheckpointBytes,
 			w.Recoveries, w.ReplayedRecords,
 			w.GroupCommits, w.GroupSize.Quantile(0.50), w.GroupSize.Quantile(0.99)))
+	}
+	if r := s.Robust; r != nil {
+		out = append(out, fmt.Sprintf(
+			"robust shed_requests=%d shed_events=%d conn_rejects=%d idle_closes=%d quarantines=%d native_restarts=%d",
+			r.ShedRequests, r.ShedEvents, r.ConnRejects, r.IdleCloses, r.Quarantines, r.NativeRestarts))
 	}
 	return out
 }

@@ -1,0 +1,50 @@
+package native
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dbtoaster/internal/codegen"
+)
+
+// TestProcHungChild runs a child that never speaks the frame protocol and
+// checks the pipe liveness deadline converts the hang into a prompt error
+// (and kills the child) instead of blocking the ingest path forever.
+func TestProcHungChild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: spawns a subprocess")
+	}
+	bin := filepath.Join(t.TempDir(), "hang.sh")
+	if err := os.WriteFile(bin, []byte("#!/bin/sh\nexec sleep 60\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p, err := StartProcOptions(bin, &codegen.Spec{}, ProcOptions{Timeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Kill() })
+
+	start := time.Now()
+	_, err = p.Dump()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Dump against a mute child returned no error")
+	}
+	if !strings.Contains(err.Error(), "unresponsive") {
+		t.Fatalf("error = %v, want child-unresponsive liveness failure", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("liveness deadline took %s, want well under the 60s hang", elapsed)
+	}
+
+	// The child was killed as part of the liveness failure; Close must not
+	// wait out the full sleep either.
+	start = time.Now()
+	_ = p.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close after liveness kill took %s", elapsed)
+	}
+}

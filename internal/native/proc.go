@@ -3,9 +3,11 @@ package native
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"os/exec"
 	"sync"
 	"time"
@@ -24,18 +26,50 @@ const maxFrame = 1 << 30
 // Errors are sticky: after the first failure every call reports it, with
 // the tail of the child's stderr attached for diagnosis.
 type Proc struct {
-	spec   *codegen.Spec
-	cmd    *exec.Cmd
-	in     *bufio.Writer
-	inC    io.Closer
-	out    *bufio.Reader
-	stderr *tailBuf
-	err    error
-	buf    []byte // payload scratch, reused across frames
+	spec    *codegen.Spec
+	cmd     *exec.Cmd
+	in      *bufio.Writer
+	inC     io.Closer
+	out     *bufio.Reader
+	stderr  *tailBuf
+	err     error
+	buf     []byte // payload scratch, reused across frames
+	timeout time.Duration
+	// inF/outF are the pipe ends as *os.File when available, for liveness
+	// deadlines on the protocol (a hung child fails the barrier instead of
+	// wedging the caller forever).
+	inF  *os.File
+	outF *os.File
 }
 
-// StartProc launches a built artifact.
+// ProcOptions tunes a child process.
+type ProcOptions struct {
+	// Timeout is both the liveness deadline on every pipe read/write and
+	// the shutdown reap deadline before the child is killed. Zero takes
+	// DBT_NATIVE_TIMEOUT (a time.ParseDuration string), then 5s.
+	Timeout time.Duration
+}
+
+// DefaultTimeout resolves the effective child timeout for zero options.
+func (o ProcOptions) DefaultTimeout() time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	if v := os.Getenv("DBT_NATIVE_TIMEOUT"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+	}
+	return 5 * time.Second
+}
+
+// StartProc launches a built artifact with default options.
 func StartProc(bin string, spec *codegen.Spec) (*Proc, error) {
+	return StartProcOptions(bin, spec, ProcOptions{})
+}
+
+// StartProcOptions launches a built artifact.
+func StartProcOptions(bin string, spec *codegen.Spec, opts ProcOptions) (*Proc, error) {
 	cmd := exec.Command(bin)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
@@ -50,14 +84,58 @@ func StartProc(bin string, spec *codegen.Spec) (*Proc, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("native: start %s: %w", bin, err)
 	}
-	return &Proc{
-		spec:   spec,
-		cmd:    cmd,
-		in:     bufio.NewWriterSize(stdin, 1<<16),
-		inC:    stdin,
-		out:    bufio.NewReader(stdout),
-		stderr: tb,
-	}, nil
+	p := &Proc{
+		spec:    spec,
+		cmd:     cmd,
+		in:      bufio.NewWriterSize(stdin, 1<<16),
+		inC:     stdin,
+		out:     bufio.NewReader(stdout),
+		stderr:  tb,
+		timeout: opts.DefaultTimeout(),
+	}
+	p.inF, _ = stdin.(*os.File)
+	p.outF, _ = stdout.(*os.File)
+	return p, nil
+}
+
+// Pid reports the child's process id (0 after Close).
+func (p *Proc) Pid() int {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return 0
+	}
+	return p.cmd.Process.Pid
+}
+
+// Kill terminates the child immediately (chaos tests and supervisors; the
+// next barrier surfaces the broken pipe as a sticky error).
+func (p *Proc) Kill() error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return nil
+	}
+	return p.cmd.Process.Kill()
+}
+
+// armRead and armWrite set liveness deadlines on the pipe when the OS
+// exposes them (stdin/stdout of a child are *os.File on Linux); deadline
+// errors read as os.ErrDeadlineExceeded and get a clearer message below.
+func (p *Proc) armRead() {
+	if p.outF != nil && p.timeout > 0 {
+		p.outF.SetReadDeadline(time.Now().Add(p.timeout))
+	}
+}
+
+func (p *Proc) armWrite() {
+	if p.inF != nil && p.timeout > 0 {
+		p.inF.SetWriteDeadline(time.Now().Add(p.timeout))
+	}
+}
+
+func (p *Proc) liveness(err error) error {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		p.Kill()
+		return fmt.Errorf("native: child unresponsive after %s: %w", p.timeout, err)
+	}
+	return err
 }
 
 // fail records the first error, decorated with the child's stderr tail.
@@ -76,13 +154,14 @@ func (p *Proc) writeFrame(payload []byte) error {
 	if p.err != nil {
 		return p.err
 	}
+	p.armWrite() // a full pipe behind a hung child must not block forever
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := p.in.Write(hdr[:]); err != nil {
-		return p.fail(fmt.Errorf("native: write frame: %w", err))
+		return p.fail(fmt.Errorf("native: write frame: %w", p.liveness(err)))
 	}
 	if _, err := p.in.Write(payload); err != nil {
-		return p.fail(fmt.Errorf("native: write frame: %w", err))
+		return p.fail(fmt.Errorf("native: write frame: %w", p.liveness(err)))
 	}
 	return nil
 }
@@ -93,12 +172,14 @@ func (p *Proc) readReply() ([]byte, error) {
 	if p.err != nil {
 		return nil, p.err
 	}
+	p.armWrite()
 	if err := p.in.Flush(); err != nil {
-		return nil, p.fail(fmt.Errorf("native: flush: %w", err))
+		return nil, p.fail(fmt.Errorf("native: flush: %w", p.liveness(err)))
 	}
+	p.armRead()
 	var hdr [4]byte
 	if _, err := io.ReadFull(p.out, hdr[:]); err != nil {
-		return nil, p.fail(fmt.Errorf("native: read reply: %w", err))
+		return nil, p.fail(fmt.Errorf("native: read reply: %w", p.liveness(err)))
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrame {
@@ -108,8 +189,9 @@ func (p *Proc) readReply() ([]byte, error) {
 		p.buf = make([]byte, n)
 	}
 	p.buf = p.buf[:n]
+	p.armRead()
 	if _, err := io.ReadFull(p.out, p.buf); err != nil {
-		return nil, p.fail(fmt.Errorf("native: read reply body: %w", err))
+		return nil, p.fail(fmt.Errorf("native: read reply body: %w", p.liveness(err)))
 	}
 	if p.buf[0] == 'E' {
 		return nil, p.fail(fmt.Errorf("native: child error: %s", p.buf[1:]))
@@ -166,13 +248,15 @@ func (p *Proc) Load(dump []MapDump) error {
 }
 
 // Close asks the child to exit and reaps it; a child that ignores the
-// request is killed. Close after a sticky error kills directly.
+// request past the configured timeout is killed. Close after a sticky
+// error kills directly.
 func (p *Proc) Close() error {
 	if p.cmd == nil {
 		return nil
 	}
 	if p.err == nil {
 		if p.writeFrame([]byte{'Q'}) == nil {
+			p.armWrite()
 			p.in.Flush()
 		}
 	}
@@ -182,7 +266,7 @@ func (p *Proc) Close() error {
 	var werr error
 	select {
 	case werr = <-done:
-	case <-time.After(5 * time.Second):
+	case <-time.After(p.timeout):
 		p.cmd.Process.Kill()
 		werr = <-done
 	}

@@ -336,6 +336,22 @@ func (e *Engine) MemStats() []MemStats {
 	return out
 }
 
+// OwnedFootprint reports the entry count and approximate resident bytes
+// across the maps this engine owns (adopted shared maps are charged to
+// their owner). Unlike MemStats it allocates nothing, so the registry can
+// afford to call it per event when per-query size quotas are enforced.
+func (e *Engine) OwnedFootprint() (entries int, bytes uint64) {
+	for _, name := range e.prog.MapOrder {
+		if e.adopted[name] {
+			continue
+		}
+		m := e.maps[name]
+		entries += m.Len()
+		bytes += m.ApproxBytes()
+	}
+	return entries, bytes
+}
+
 // SharedMaps lists the maps this engine adopted from Options.MapSource
 // Shared candidates (owned and maintained by another engine), sorted.
 func (e *Engine) SharedMaps() []string {
@@ -397,7 +413,22 @@ func (e *Engine) OnEvent(rel string, insert bool, args types.Tuple) error {
 
 // fire validates the event against the trigger's declaration and executes
 // its statements. This is the uninstrumented hot path.
-func (e *Engine) fire(ct *compiledTrigger, args types.Tuple) error {
+//
+// A panicking trigger (a compiler bug, or an armed chaos failpoint) is
+// contained here: the panic becomes a *PanicError so one poisoned tenant
+// cannot unwind the committer's stack. The engine's own maps may be torn
+// mid-statement after a panic — callers must treat the error as fatal for
+// this engine (the registry quarantines it) — but every other engine's
+// state is untouched.
+func (e *Engine) fire(ct *compiledTrigger, args types.Tuple) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Relation: ct.trig.Relation, Value: p}
+		}
+	}()
+	if cfg := chaosCfg.Load(); cfg != nil {
+		cfg.check(ct.trig.Relation, e.events)
+	}
 	if len(args) != len(ct.trig.Params) {
 		return fmt.Errorf("runtime: event %s expects %d args, got %d", ct.trig.Name(), len(ct.trig.Params), len(args))
 	}

@@ -227,6 +227,25 @@ func (m *Map) Len() int {
 	}
 }
 
+// ApproxBytes estimates the map's resident size from its layout, using
+// the same per-entry heuristic as metrics.MapStats.ApproxBytes (packed
+// layouts are a key plus an unboxed value; generic entries carry the
+// encoded key string, the boxed value, and hash-map overhead). It is
+// allocation-free, for per-event quota checks.
+func (m *Map) ApproxBytes() uint64 {
+	n := uint64(m.Len())
+	switch m.kind {
+	case storeI1:
+		return n * 24
+	case storeI2:
+		return n * 32
+	case storeI3, storeI4:
+		return n * 48
+	default:
+		return n * 112
+	}
+}
+
 // packInt converts one tuple position of a typed map to its packed form.
 // Typed layouts exist only for maps whose every access site is statically
 // int; a non-int value here means the caller bypassed the type system.

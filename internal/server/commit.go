@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dbtoaster/internal/stream"
 	"dbtoaster/internal/wal"
@@ -41,12 +42,30 @@ type commitReq struct {
 
 // committer serializes ingest into coalesced commit groups.
 type committer struct {
-	mu       sync.Mutex
-	pending  []*commitReq
-	wake     chan struct{} // 1-buffered; a wake may cover many requests
-	stop     chan struct{}
-	stopOnce sync.Once
-	done     chan struct{}
+	mu      sync.Mutex
+	pending []*commitReq
+	// pendingEvents counts the events (not requests) queued for the next
+	// group — the admission-control gauge MaxPending compares against.
+	pendingEvents int
+	wake          chan struct{} // 1-buffered; a wake may cover many requests
+	stop          chan struct{}
+	stopOnce     sync.Once
+	done         chan struct{}
+}
+
+// OverloadedError reports a shed request: admission control refused it
+// because the committer's pending backlog was over the configured budget.
+// RetryAfter is a pacing hint — the EMA of recent group-commit durations,
+// roughly one drain cycle.
+type OverloadedError struct {
+	PendingEvents int
+	Limit         int
+	RetryAfter    time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("overloaded: %d events pending (limit %d), retry_after_ms=%d",
+		e.PendingEvents, e.Limit, e.RetryAfter.Milliseconds())
 }
 
 func newCommitter() *committer {
@@ -78,13 +97,31 @@ func (s *Server) stopCommitter() {
 // commit hands a producer's events to the committer and blocks until the
 // group containing them is durable and applied. This is the only ingest
 // path; it replaces per-connection WAL appends under the server lock.
+//
+// Admission control: with MaxPending set, a request that would push the
+// queued backlog past the budget is shed with an OverloadedError instead
+// of enqueued — the producer gets a structured rejection and a retry hint
+// while the committer drains. A request arriving at an empty backlog is
+// always admitted, even if it alone exceeds the budget: rejecting it could
+// never succeed on retry.
 func (s *Server) commit(evs []stream.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
 	req := &commitReq{evs: evs, done: make(chan error, 1)}
 	s.com.mu.Lock()
+	if s.maxPending > 0 && s.com.pendingEvents > 0 && s.com.pendingEvents+len(evs) > s.maxPending {
+		pending := s.com.pendingEvents
+		s.com.mu.Unlock()
+		if s.sink != nil {
+			rs := s.sink.Robust()
+			rs.ShedRequests.Inc()
+			rs.ShedEvents.Add(uint64(len(evs)))
+		}
+		return &OverloadedError{PendingEvents: pending, Limit: s.maxPending, RetryAfter: s.retryAfter()}
+	}
 	s.com.pending = append(s.com.pending, req)
+	s.com.pendingEvents += len(evs)
 	s.com.mu.Unlock()
 	select {
 	case s.com.wake <- struct{}{}:
@@ -117,6 +154,7 @@ func (s *Server) commitPending() {
 		s.com.mu.Lock()
 		group := s.com.pending
 		s.com.pending = nil
+		s.com.pendingEvents = 0
 		s.com.mu.Unlock()
 		if len(group) == 0 {
 			return
@@ -182,6 +220,8 @@ func (s *Server) control(op func() error) error {
 // replays to the same rejection during recovery, so recovered state still
 // matches live state.
 func (s *Server) commitGroup(group []*commitReq) {
+	start := time.Now()
+	defer func() { s.noteGroupDuration(time.Since(start)) }()
 	s.ingest.Lock()
 	if s.wal != nil {
 		total := 0
@@ -238,4 +278,25 @@ func (s *Server) applyLocked(evs []stream.Event) error {
 		return s.reg.OnEvent(evs[0])
 	}
 	return s.reg.OnEventBatch(evs)
+}
+
+// noteGroupDuration folds one group's wall-clock cost into the EMA behind
+// the overload retry hint (weight 1/8, cheap and lock-free).
+func (s *Server) noteGroupDuration(d time.Duration) {
+	prev := s.emaGroupNs.Load()
+	if prev == 0 {
+		s.emaGroupNs.Store(int64(d))
+		return
+	}
+	s.emaGroupNs.Store(prev - prev/8 + int64(d)/8)
+}
+
+// retryAfter is the pacing hint attached to shed requests: about one group
+// drain, never less than a millisecond.
+func (s *Server) retryAfter() time.Duration {
+	d := time.Duration(s.emaGroupNs.Load())
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }

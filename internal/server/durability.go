@@ -15,29 +15,38 @@ import (
 	"dbtoaster/internal/wal"
 )
 
-// Checkpoint container format v2 (the payload inside a wal checkpoint
+// Checkpoint container format v3 (the payload inside a wal checkpoint
 // file):
 //
-//	"DBTQ" magic, uint32 version (2)
+//	"DBTQ" magic, uint32 version (3)
 //	uint64 server event counter
 //	uint32 query count
 //	per query: uint32 name length, name bytes,
 //	           uint32 SQL length, whitespace-normalized SQL bytes,
 //	           uint64 from-seq (WAL position before which the query saw
 //	           nothing; sharing eligibility compares these),
-//	           uint64 blob length, engine snapshot blob (runtime "DBT2")
+//	           uint8 state (0 = live, 1 = quarantined), then
+//	           live:        uint64 blob length, engine snapshot blob
+//	                        (runtime "DBT2")
+//	           quarantined: uint32 reason length, reason bytes,
+//	                        uint64 last-good WAL sequence (no blob — the
+//	                        engine was closed at demotion)
 //
-// All integers little-endian. v1 containers (no magic; they begin with the
-// uint64 event counter) are still read — they carry no per-query from-seq,
-// which restores as zero. The SQL text rides along so recovery can
-// re-register queries beyond "main" and refuse, per query, to load state
-// written for different SQL. Queries registered after the last checkpoint
-// are restored from their REGISTER WAL records instead.
+// All integers little-endian. v2 containers (no state byte, live entries
+// only) and v1 containers (no magic; they begin with the uint64 event
+// counter, no per-query from-seq) are still read. The SQL text rides along
+// so recovery can re-register queries beyond "main" and refuse, per query,
+// to load state written for different SQL. Queries registered after the
+// last checkpoint are restored from their REGISTER WAL records instead;
+// quarantines after it, from their QUARANTINE records.
 
 const (
 	containerMagic   = "DBTQ"
-	containerVersion = 2
+	containerVersion = 3
 	maxContainerStr  = 1 << 20
+
+	qstateLive        = 0
+	qstateQuarantined = 1
 )
 
 // SQLMismatchError reports a checkpoint whose recorded SQL for one query
@@ -80,8 +89,10 @@ func readString32(r io.Reader, what string) (string, error) {
 
 func normalSQL(sql string) string { return strings.Join(strings.Fields(sql), " ") }
 
-// writeStateLocked serializes every live query's state into the checkpoint
-// container. Caller holds s.mu.
+// writeStateLocked serializes every live query's state — and every
+// quarantined query's name, reason, and last-good sequence, so a demotion
+// survives the log rotation that would otherwise discard its WAL record —
+// into the checkpoint container. Caller holds s.mu.
 func (s *Server) writeStateLocked(w io.Writer, watermark uint64) error {
 	if _, err := io.WriteString(w, containerMagic); err != nil {
 		return err
@@ -92,24 +103,16 @@ func (s *Server) writeStateLocked(w io.Writer, watermark uint64) error {
 	if err := binary.Write(w, binary.LittleEndian, s.events); err != nil {
 		return err
 	}
-	var live []engine.QueryInfo
+	var keep []engine.QueryInfo
 	for _, info := range s.reg.Infos() {
-		if info.State == engine.StateLive {
-			live = append(live, info)
+		if info.State == engine.StateLive || info.State == engine.StateQuarantined {
+			keep = append(keep, info)
 		}
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(live))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(keep))); err != nil {
 		return err
 	}
-	for _, info := range live {
-		eng, ok := s.reg.Get(info.Name)
-		if !ok {
-			return fmt.Errorf("query %q vanished during checkpoint", info.Name)
-		}
-		d, ok := eng.(engine.Durable)
-		if !ok {
-			return fmt.Errorf("query %q engine does not support snapshots", info.Name)
-		}
+	for _, info := range keep {
 		if err := writeString32(w, info.Name); err != nil {
 			return err
 		}
@@ -118,6 +121,29 @@ func (s *Server) writeStateLocked(w io.Writer, watermark uint64) error {
 		}
 		if err := binary.Write(w, binary.LittleEndian, info.FromSeq); err != nil {
 			return err
+		}
+		if info.State == engine.StateQuarantined {
+			if err := binary.Write(w, binary.LittleEndian, uint8(qstateQuarantined)); err != nil {
+				return err
+			}
+			if err := writeString32(w, info.Reason); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, info.LastGood); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint8(qstateLive)); err != nil {
+			return err
+		}
+		eng, ok := s.reg.Get(info.Name)
+		if !ok {
+			return fmt.Errorf("query %q vanished during checkpoint", info.Name)
+		}
+		d, ok := eng.(engine.Durable)
+		if !ok {
+			return fmt.Errorf("query %q engine does not support snapshots", info.Name)
 		}
 		var blob bytes.Buffer
 		if err := d.StateSnapshot(&blob, watermark); err != nil {
@@ -147,7 +173,7 @@ func (s *Server) restoreState(rd io.Reader) error {
 		if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 			return fmt.Errorf("checkpoint container version: %w", err)
 		}
-		if version != containerVersion {
+		if version < 2 || version > containerVersion {
 			return fmt.Errorf("unsupported checkpoint container version %d", version)
 		}
 	}
@@ -174,6 +200,34 @@ func (s *Server) restoreState(rd io.Reader) error {
 			if err := binary.Read(br, binary.LittleEndian, &fromSeq); err != nil {
 				return fmt.Errorf("checkpoint from-seq: %w", err)
 			}
+		}
+		var qstate uint8
+		if version >= 3 {
+			if err := binary.Read(br, binary.LittleEndian, &qstate); err != nil {
+				return fmt.Errorf("checkpoint query state: %w", err)
+			}
+		}
+		if qstate == qstateQuarantined {
+			reason, err := readString32(br, "quarantine reason")
+			if err != nil {
+				return err
+			}
+			var lastGood uint64
+			if err := binary.Read(br, binary.LittleEndian, &lastGood); err != nil {
+				return fmt.Errorf("checkpoint last-good seq: %w", err)
+			}
+			restored[name] = true
+			if _, ok := s.reg.Get(name); ok {
+				// A boot-installed query (e.g. "main") that the checkpoint
+				// holds as quarantined: demote the fresh engine in place so
+				// the tail replay skips it, exactly as live ingest did.
+				if err := s.reg.Quarantine(name, reason, lastGood); err != nil {
+					return fmt.Errorf("recover query %q: %w", name, err)
+				}
+			} else if err := s.reg.InstallQuarantined(name, sqlText, reason, fromSeq, lastGood); err != nil {
+				return fmt.Errorf("recover query %q: %w", name, err)
+			}
+			continue
 		}
 		var blobLen uint64
 		if err := binary.Read(br, binary.LittleEndian, &blobLen); err != nil {
@@ -232,12 +286,7 @@ func (s *Server) restoreQuery(name, sqlText string, fromSeq uint64, blob []byte)
 		return fmt.Errorf("recover query %q: %w", name, err)
 	}
 	ropts := runtime.Options{Metrics: s.sink, MetricsLabel: name}
-	var tmp engine.CompiledEngine
-	if s.shards > 1 {
-		tmp, err = engine.NewShardedToaster(q, s.shards, ropts)
-	} else {
-		tmp, err = engine.NewToaster(q, runtime.Options{NoMetrics: true})
-	}
+	tmp, err := s.buildEngine(name, q)
 	if err != nil {
 		s.reg.Abort(name)
 		return fmt.Errorf("recover query %q: %w", name, err)
@@ -304,6 +353,19 @@ func (s *Server) runRecovery() (wal.RecoveryInfo, error) {
 					return fmt.Errorf("wal record %d: %w", seq, err)
 				}
 				return s.recoverRegister(name, sqlText, fromSeq, seq)
+			case wal.RecQuarantine:
+				name, reason, lastGood, err := wal.DecodeQuarantine(data)
+				if err != nil {
+					return fmt.Errorf("wal record %d: %w", seq, err)
+				}
+				if qerr := s.reg.Quarantine(name, reason, lastGood); qerr != nil {
+					// Deterministic replay (a size-quota breach re-fires at
+					// the same position) may have demoted the query already,
+					// or a newer checkpoint no longer holds it: no-op, like a
+					// rejected event.
+					s.replayErrs++
+				}
+				return nil
 			case wal.RecUnregister:
 				name, err := wal.DecodeUnregister(data)
 				if err != nil {
@@ -362,12 +424,7 @@ func (s *Server) recoverRegister(name, sqlText string, fromSeq, recordSeq uint64
 		return fmt.Errorf("recover register %q: %w", name, err)
 	}
 	ropts := runtime.Options{Metrics: s.sink, MetricsLabel: name}
-	var tmp engine.CompiledEngine
-	if s.shards > 1 {
-		tmp, err = engine.NewShardedToaster(q, s.shards, ropts)
-	} else {
-		tmp, err = engine.NewToaster(q, runtime.Options{NoMetrics: true})
-	}
+	tmp, err := s.buildEngine(name, q)
 	if err != nil {
 		s.reg.Abort(name)
 		return fmt.Errorf("recover register %q: %w", name, err)

@@ -56,11 +56,14 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbtoaster/internal/engine"
@@ -97,6 +100,29 @@ type Options struct {
 	// CheckpointEvery takes an automatic checkpoint after this many
 	// accepted events (0 = only explicit CHECKPOINT commands).
 	CheckpointEvery uint64
+	// Quota bounds each registered query's resources — owned map entries
+	// and bytes, and a per-event trigger time budget. A breaching query is
+	// quarantined (removed from the fan-out, listed with the reason, and
+	// revivable by REGISTER) instead of taking the server down with it.
+	// Zero fields disable the corresponding limit.
+	Quota engine.Quota
+	// MaxConns caps concurrent connections (0 = unlimited). A connection
+	// over the cap receives one "ERR too many connections" line and is
+	// closed before any command is read.
+	MaxConns int
+	// IdleTimeout closes a connection whose next command does not arrive
+	// within it (0 = never). The final line is "ERR idle timeout ...".
+	IdleTimeout time.Duration
+	// MaxPending bounds the group committer's admission backlog in events
+	// (0 = unbounded). Requests past the budget are shed with an
+	// OverloadedError carrying a retry hint instead of queueing without
+	// bound; see commit.go.
+	MaxPending int
+	// EngineBuilder overrides engine construction for registered queries
+	// (e.g. the supervised native-code engine). Nil selects the built-in
+	// Toaster (or ShardedToaster per Shards). Builder engines install
+	// as-is: no map sharing or rebuild-with-transfer.
+	EngineBuilder func(name string, q *engine.Query) (engine.CompiledEngine, error)
 }
 
 // Server is a standalone standing-query processor hosting a dynamic set of
@@ -118,6 +144,18 @@ type Server struct {
 	// group-commit stage all ingest flows through; see commit.go.
 	ingest sync.Mutex
 	com    *committer
+
+	// Overload protection (see commit.go for shedding, Listen/serve for
+	// the connection-level guards).
+	maxPending    int
+	maxConns      int
+	idleTimeout   time.Duration
+	conns         atomic.Int64
+	emaGroupNs    atomic.Int64
+	engineBuilder func(name string, q *engine.Query) (engine.CompiledEngine, error)
+	// recovering suppresses quarantine WAL appends while replay itself
+	// rediscovers (or re-applies) demotions.
+	recovering bool
 
 	// Durability state (nil/zero when WALDir is unset).
 	wal        *wal.Manager
@@ -145,13 +183,19 @@ func NewWithOptions(sqlText string, cat *schema.Catalog, opts Options) (*Server,
 	// Map sharing requires a single-threaded engine per query: adopted maps
 	// are read without synchronization against the owner's writes, which is
 	// safe only under the one-event-at-a-time fan-out.
-	s := &Server{cat: cat, shards: opts.Shards, reg: engine.NewRegistry(opts.Shards <= 1)}
+	s := &Server{
+		cat: cat, shards: opts.Shards, reg: engine.NewRegistry(opts.Shards <= 1),
+		maxPending: opts.MaxPending, maxConns: opts.MaxConns,
+		idleTimeout: opts.IdleTimeout, engineBuilder: opts.EngineBuilder,
+	}
 	if !opts.NoMetrics {
 		s.sink = opts.Metrics
 		if s.sink == nil {
 			s.sink = metrics.New()
 		}
 	}
+	s.reg.SetQuota(opts.Quota)
+	s.reg.SetQuarantineHook(s.onQuarantine)
 	// "main" is installed before the WAL opens: with recovery it then
 	// replays the full retained history like every checkpointed query.
 	if err := s.Register("main", sqlText); err != nil {
@@ -175,7 +219,16 @@ func NewWithOptions(sqlText string, cat *schema.Catalog, opts Options) (*Server,
 			return nil, fmt.Errorf("server: WAL directory %s holds prior state; start with recovery enabled or point at an empty directory", opts.WALDir)
 		}
 		if opts.Recover {
+			// Replay rediscovers deterministic quarantines (size quotas) and
+			// applies the durable ones (RecQuarantine records); wall-clock
+			// budget enforcement is off — replay timing proves nothing about
+			// live timing — and the hook must not append records the log
+			// already holds.
+			s.recovering = true
+			s.reg.SetBudgetEnforcement(false)
 			info, err := s.runRecovery()
+			s.reg.SetBudgetEnforcement(true)
+			s.recovering = false
 			if err != nil {
 				m.Close()
 				s.closeEngines()
@@ -203,6 +256,43 @@ func closeEngine(eng engine.Engine) {
 	if c, ok := eng.(interface{ Close() error }); ok {
 		_ = c.Close()
 	}
+}
+
+// onQuarantine is the registry's durability hook for fan-out demotions. It
+// runs under the registry lock inside the committer's append→apply critical
+// section, so the RecQuarantine record lands at the exact ingest position
+// where the breach was detected; recovery replays it there. Returns the
+// query's last-good WAL sequence (the record just applied — the breach was
+// detected after the event committed).
+func (s *Server) onQuarantine(name, reason string) uint64 {
+	var lastGood uint64
+	if s.wal != nil {
+		lastGood = s.wal.LastSeq()
+		if !s.recovering {
+			// An append failure leaves the demotion memory-only; a restart
+			// rediscovers deterministic breaches by replay.
+			_, _ = s.wal.Append(wal.AppendQuarantine(nil, name, reason, lastGood))
+		}
+	}
+	if s.sink != nil {
+		s.sink.Robust().Quarantines.Inc()
+	}
+	return lastGood
+}
+
+// buildEngine constructs the private (catch-up) engine for one query per
+// the server's configuration: the configured EngineBuilder when set,
+// otherwise the sharded or bare single-threaded Toaster. Bare Toasters are
+// rebuilt by Install with metrics and map sharing; everything else
+// installs as-is.
+func (s *Server) buildEngine(name string, q *engine.Query) (engine.CompiledEngine, error) {
+	if s.engineBuilder != nil {
+		return s.engineBuilder(name, q)
+	}
+	if s.shards > 1 {
+		return engine.NewShardedToaster(q, s.shards, runtime.Options{Metrics: s.sink, MetricsLabel: name})
+	}
+	return engine.NewToaster(q, runtime.Options{NoMetrics: true})
 }
 
 // Sink returns the server's metrics sink (nil when disabled); the daemon
@@ -239,16 +329,7 @@ func (s *Server) install(name, sqlText string) error {
 		return err
 	}
 	ropts := runtime.Options{Metrics: s.sink, MetricsLabel: name}
-	var tmp engine.CompiledEngine
-	if s.shards > 1 {
-		// The sharded runtime installs as-is (no rebuild-with-transfer), so
-		// the catch-up engine is already the final one, metrics attached.
-		tmp, err = engine.NewShardedToaster(q, s.shards, ropts)
-	} else {
-		// Single-threaded: catch up in a bare private engine; Install
-		// rebuilds it with metrics attached and map sharing applied.
-		tmp, err = engine.NewToaster(q, runtime.Options{NoMetrics: true})
-	}
+	tmp, err := s.buildEngine(name, q)
 	if err != nil {
 		return err
 	}
@@ -380,9 +461,21 @@ func (s *Server) Listen(addr string) (string, error) {
 			if err != nil {
 				return
 			}
+			if s.maxConns > 0 && s.conns.Add(1) > int64(s.maxConns) {
+				s.conns.Add(-1)
+				if s.sink != nil {
+					s.sink.Robust().ConnRejects.Inc()
+				}
+				fmt.Fprintf(conn, "ERR too many connections (limit %d)\n", s.maxConns)
+				conn.Close()
+				continue
+			}
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
+				if s.maxConns > 0 {
+					defer s.conns.Add(-1)
+				}
 				s.serve(conn)
 			}()
 		}
@@ -424,7 +517,16 @@ func (s *Server) serve(conn net.Conn) {
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
-	for sc.Scan() {
+	for {
+		// The read deadline re-arms per command and spans the whole
+		// command, including a BATCH body: a client that stalls mid-batch
+		// holds server resources just like an idle one.
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
@@ -433,6 +535,20 @@ func (s *Server) serve(conn net.Conn) {
 		w.Flush()
 		if quit {
 			return
+		}
+	}
+	// A scan that stopped on anything but EOF owes the client a final
+	// explanation: a silently dropped oversized line (bufio.ErrTooLong past
+	// the 1 MiB token limit) or an expired idle deadline would otherwise be
+	// indistinguishable from a server crash.
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			if s.sink != nil {
+				s.sink.Robust().IdleCloses.Inc()
+			}
+			fmt.Fprintf(w, "ERR idle timeout after %s, closing\n", s.idleTimeout)
+		} else {
+			fmt.Fprintf(w, "ERR read: %v\n", err)
 		}
 	}
 }
@@ -509,6 +625,11 @@ func (s *Server) listLines() []string {
 		if len(info.Shared) > 0 {
 			shared = strings.Join(info.Shared, ",")
 		}
+		if info.State == engine.StateQuarantined {
+			out = append(out, fmt.Sprintf("%s %s from_seq=%d shared=%s reason=%q last_good_seq=%d %s",
+				info.Name, info.State, info.FromSeq, shared, info.Reason, info.LastGood, normalSQL(info.SQL)))
+			continue
+		}
 		out = append(out, fmt.Sprintf("%s %s from_seq=%d shared=%s %s",
 			info.Name, info.State, info.FromSeq, shared, normalSQL(info.SQL)))
 	}
@@ -535,6 +656,12 @@ func (s *Server) statsBody() (events uint64, entries int, lines []string) {
 			}
 		}
 	}
+	for _, info := range s.reg.Infos() {
+		if info.State == engine.StateQuarantined {
+			lines = append(lines, fmt.Sprintf("query %s quarantined reason=%q last_good_seq=%d",
+				info.Name, info.Reason, info.LastGood))
+		}
+	}
 	return s.events, entries, lines
 }
 
@@ -557,7 +684,13 @@ func (s *Server) handle(sc *bufio.Scanner, w *bufio.Writer, line string) (quit b
 			fmt.Fprintln(w, "ERR usage: BATCH <n>")
 			return false
 		}
-		evs := make([]stream.Event, 0, n)
+		// The initial capacity is clamped: n is client-controlled, and a
+		// "BATCH 1000000000" line must not allocate gigabytes up front.
+		sz := n
+		if sz > 4096 {
+			sz = 4096
+		}
+		evs := make([]stream.Event, 0, sz)
 		var parseErr error
 		for i := 0; i < n; i++ {
 			// Consume all n delta lines even after a parse error, so the

@@ -16,6 +16,8 @@ import (
 //	    2 | uint32 nameLen | name | uint32 sqlLen | sql | uint64 fromSeq
 //	3 (query unregistration):
 //	    3 | uint32 nameLen | name
+//	4 (query quarantine):
+//	    4 | uint32 nameLen | name | uint32 reasonLen | reason | uint64 lastGood
 //
 // The argument tuple reuses the injective key encoding, so decode goes
 // through types.DecodeKeyChecked and inherits its bounds validation and
@@ -30,6 +32,7 @@ const (
 	RecInsert     = 1
 	RecRegister   = 2
 	RecUnregister = 3
+	RecQuarantine = 4
 )
 
 // RecordType returns the type byte of a record's application bytes
@@ -145,4 +148,37 @@ func DecodeUnregister(b []byte) (name string, err error) {
 		return "", fmt.Errorf("wal: unregister record has %d trailing bytes", len(rest))
 	}
 	return name, nil
+}
+
+// AppendQuarantine appends the wire form of a query-quarantine record:
+// the query under name was removed from the fan-out for reason, with
+// lastGood the last WAL sequence it is known to have fully applied. The
+// record makes quarantine durable — replay demotes the query at the same
+// stream position — without disturbing event records (replayInto skips
+// all lifecycle records, so catch-up for other queries is unaffected).
+func AppendQuarantine(dst []byte, name, reason string, lastGood uint64) []byte {
+	dst = append(dst, RecQuarantine)
+	dst = appendString32(dst, name)
+	dst = appendString32(dst, reason)
+	return binary.LittleEndian.AppendUint64(dst, lastGood)
+}
+
+// DecodeQuarantine inverts AppendQuarantine. It never panics on malformed
+// input.
+func DecodeQuarantine(b []byte) (name, reason string, lastGood uint64, err error) {
+	if len(b) < 1 || b[0] != RecQuarantine {
+		return "", "", 0, fmt.Errorf("wal: not a quarantine record")
+	}
+	name, rest, err := readString32(b[1:], "quarantine name")
+	if err != nil {
+		return "", "", 0, err
+	}
+	reason, rest, err = readString32(rest, "quarantine reason")
+	if err != nil {
+		return "", "", 0, err
+	}
+	if len(rest) != 8 {
+		return "", "", 0, fmt.Errorf("wal: quarantine record trailer has %d bytes, want 8", len(rest))
+	}
+	return name, reason, binary.LittleEndian.Uint64(rest), nil
 }

@@ -36,6 +36,13 @@
 #                                        # BENCH_registry.json with
 #                                        # register-latency p50/p99, mean
 #                                        # compile time, catch-up volume)
+#   SUITE=overload scripts/bench.sh      # admission control under 1x/2x/4x
+#                                        # producer load against a bounded
+#                                        # commit backlog
+#                                        # (BenchmarkOverloadShedding →
+#                                        # BENCH_overload.json with p99 ack
+#                                        # latency and shed fraction per
+#                                        # load point)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -75,8 +82,17 @@ registry)
     # replay the retained history 20000 times. BENCHTIME still overrides.
     if [ "$BENCHTIME" = 20000x ]; then BENCHTIME=50x; fi
     ;;
+overload)
+    PATTERN='^BenchmarkOverloadShedding/'
+    OUT="${OUT:-BENCH_overload.json}"
+    PKG="./internal/server"
+    # Each iteration is a full client round-trip batch against a loaded
+    # server; 20000 per load point is minutes of wall clock for no extra
+    # signal. BENCHTIME still overrides.
+    if [ "$BENCHTIME" = 20000x ]; then BENCHTIME=2000x; fi
+    ;;
 *)
-    echo "unknown SUITE '$SUITE' (hotpath|typed|metrics|shards|registry|native)" >&2
+    echo "unknown SUITE '$SUITE' (hotpath|typed|metrics|shards|registry|native|overload)" >&2
     exit 2
     ;;
 esac
@@ -105,6 +121,43 @@ if [ "$SUITE" = registry ]; then
 }' > "$OUT"
     if ! grep -q p99_ns "$OUT"; then
         echo "BENCH_registry.json is missing register-latency percentiles" >&2
+        exit 1
+    fi
+    echo "wrote $OUT"
+    exit 0
+fi
+
+if [ "$SUITE" = overload ]; then
+    # One result line per load point (load1x/load2x/load4x); parse every
+    # "value unit" custom-metric pair (p99_ack_ns, shed_frac) per line.
+    printf '%s\n' "$raw" | awk -v benchtime="$BENCHTIME" '
+BEGIN {
+    print "{"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    print "  \"load_points\": ["
+    first = 1
+}
+/^BenchmarkOverloadShedding\// && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkOverloadShedding\//, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"load\": \"%s\"", name
+    for (i = 3; i <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END {
+    print ""
+    print "  ]"
+    print "}"
+}' > "$OUT"
+    if ! grep -q p99_ack_ns "$OUT"; then
+        echo "BENCH_overload.json is missing p99 ack latencies" >&2
         exit 1
     fi
     echo "wrote $OUT"
